@@ -1,0 +1,105 @@
+"""Ablation: dynamic MDS-driven site selection (the paper's stated future
+work — "we plan to include dynamic information provided by Globus MDS").
+
+Scenario: another VO's jobs are already occupying most of one pool.  The
+static policies don't know; the MDS does.  Compare simulated makespans of a
+120-job workflow planned with the paper's static random policy vs the
+MDS-driven selector.
+"""
+
+from __future__ import annotations
+
+from repro.condor.mds import MdsSiteSelector, MonitoringService, ResourceRecord
+from repro.condor.pool import CondorPool, GridTopology
+from repro.condor.simulator import GridSimulator, SimulationOptions
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+N_JOBS = 120
+#: uwisc is mostly busy with someone else's work; the others are idle.
+EXTERNAL_LOAD = {"isi": 0, "uwisc": 18, "fnal": 0}
+
+
+def topology() -> GridTopology:
+    topo = GridTopology()
+    topo.add_pool(CondorPool("isi", slots=12))
+    topo.add_pool(CondorPool("uwisc", slots=20))
+    topo.add_pool(CondorPool("fnal", slots=12))
+    return topo
+
+
+def loaded_topology() -> GridTopology:
+    """The same pools with the external load consuming slots for real."""
+    topo = GridTopology()
+    for name, pool in topology().pools.items():
+        topo.add_pool(
+            CondorPool(name, slots=max(pool.slots - EXTERNAL_LOAD[name], 1), speed=pool.speed)
+        )
+    return topo
+
+
+def build(selector_factory):
+    rls = ReplicaLocationService()
+    for site in ("isi", "uwisc", "fnal", "store"):
+        rls.add_site(site)
+    tc = TransformationCatalog()
+    for site in ("isi", "uwisc", "fnal"):
+        tc.install("galMorph", site, "/bin/galmorph")
+    jobs = []
+    for i in range(N_JOBS):
+        rls.register(f"g{i}.fit", f"gsiftp://store.grid/data/g{i}.fit", "store")
+        jobs.append(AbstractJob(f"d{i}", "galMorph", (f"g{i}.fit",), (f"g{i}.txt",)))
+    planner = PegasusPlanner(
+        rls,
+        tc,
+        PlannerOptions(output_site="store", site_selection="random"),
+        site_selector_factory=selector_factory,
+    )
+    return planner, AbstractWorkflow(jobs)
+
+
+def run(selector_factory) -> tuple[float, dict[str, int]]:
+    planner, workflow = build(selector_factory)
+    plan = planner.plan(workflow)
+    sim = GridSimulator(loaded_topology(), SimulationOptions(runtime_jitter=0.0))
+    report = sim.execute(plan.concrete)
+    assert report.succeeded
+    return report.makespan, report.jobs_per_site()
+
+
+def test_mds_vs_static(benchmark, record_table):
+    mds = MonitoringService()
+    for name, pool in topology().pools.items():
+        mds.publish(
+            ResourceRecord(name, pool.slots, EXTERNAL_LOAD[name], pool.speed, timestamp=0.0)
+        )
+
+    def sweep():
+        static_makespan, static_spread = run(None)  # PlannerOptions: random
+        mds_makespan, mds_spread = run(lambda: MdsSiteSelector(mds))
+        return static_makespan, static_spread, mds_makespan, mds_spread
+
+    static_makespan, static_spread, mds_makespan, mds_spread = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    # the MDS selector routes around the loaded pool and wins
+    assert mds_makespan < static_makespan
+    assert mds_spread.get("uwisc", 0) < static_spread.get("uwisc", 0)
+
+    lines = [
+        f"external load: uwisc has {EXTERNAL_LOAD['uwisc']}/20 slots busy; isi/fnal idle",
+        "",
+        f"{'policy':<16s} {'makespan':>9s} {'isi':>5s} {'uwisc':>6s} {'fnal':>6s}",
+        f"{'random (paper)':<16s} {static_makespan:>8.1f}s "
+        f"{static_spread.get('isi', 0):>5d} {static_spread.get('uwisc', 0):>6d} {static_spread.get('fnal', 0):>6d}",
+        f"{'MDS-driven':<16s} {mds_makespan:>8.1f}s "
+        f"{mds_spread.get('isi', 0):>5d} {mds_spread.get('uwisc', 0):>6d} {mds_spread.get('fnal', 0):>6d}",
+        "",
+        f"speedup: {static_makespan / mds_makespan:.2f}x — dynamic resource "
+        "information avoids the pool other users have saturated.",
+    ]
+    record_table("ablation_mds", "\n".join(lines))

@@ -1,0 +1,121 @@
+"""Ablation (§4.2): the SIA per-image bottleneck vs batching vs GridFTP.
+
+"The major bottleneck in the application's operation is the querying of
+image servers ... an image query and download for each galaxy must be done
+separately.  This could be sped up tremendously if one could query for all
+images at once."  §4.3.1(3): the cache "is then available via GridFTP,
+which provides much better performance than the SIA."
+
+Sweeps galaxies-per-cluster and compares virtual transport seconds for:
+per-image SIA (the paper's reality), a hypothetical batched SIA, and
+GridFTP from the service cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.services.transport import TransportModel
+
+CUTOUT_BYTES = 20160
+SWEEP = [37, 52, 68, 84, 97, 110, 135, 561]
+
+
+def sia_per_image_seconds(model: TransportModel, n: int) -> float:
+    # one metadata query + one download per galaxy
+    return n * (model.sia_query.time(256) + model.sia_download.time(CUTOUT_BYTES))
+
+
+def sia_batched_seconds(model: TransportModel, n: int) -> float:
+    # one query for all images at once, one bulk download
+    return model.batched_query_time(n, 256 * n) + model.sia_download.time(n * CUTOUT_BYTES)
+
+
+def gridftp_seconds(model: TransportModel, n: int) -> float:
+    return n * model.gridftp.time(CUTOUT_BYTES)
+
+
+def test_sia_bottleneck_sweep(benchmark, record_table):
+    model = TransportModel()
+
+    rows = benchmark(
+        lambda: [
+            (n, sia_per_image_seconds(model, n), sia_batched_seconds(model, n), gridftp_seconds(model, n))
+            for n in SWEEP
+        ]
+    )
+
+    lines = [
+        f"{'galaxies':>8s} {'per-image SIA':>14s} {'batched SIA':>12s} {'GridFTP':>9s} "
+        f"{'batch speedup':>14s} {'gridftp speedup':>16s}"
+    ]
+    for n, per_image, batched, gridftp in rows:
+        lines.append(
+            f"{n:>8d} {per_image:>13.1f}s {batched:>11.1f}s {gridftp:>8.1f}s "
+            f"{per_image / batched:>13.1f}x {per_image / gridftp:>15.1f}x"
+        )
+        # the paper's claims, as shape assertions:
+        assert batched < per_image / 5  # "sped up tremendously"
+        assert gridftp < per_image / 5  # "much better performance than the SIA"
+    # per-image cost is linear with a large constant: doubling n ~ doubles time
+    t37 = rows[0][1]
+    t561 = rows[-1][1]
+    assert t561 / t37 == pytest.approx(561 / 37, rel=1e-9)
+    lines.append("")
+    lines.append(
+        "shape: per-image SIA is overhead-dominated and linear in galaxy count; "
+        "batching amortises the query latency; GridFTP amortises per-request cost."
+    )
+    record_table("ablation_sia_bottleneck", "\n".join(lines))
+
+
+def test_sia_real_download_wall_time(benchmark):
+    """Real (not modelled) per-image fetch cost through the cutout service."""
+    from repro.portal.demo import build_demo_environment
+    from repro.sky.registry_data import demonstration_cluster
+
+    env = build_demo_environment(clusters=[demonstration_cluster("A3526")])
+    service = env.cutout_service
+    urls = [service.url_for("A3526", f"A3526-{i:04d}") for i in range(10)]
+
+    def fetch_all():
+        return [service.fetch(url) for url in urls]
+
+    payloads = benchmark(fetch_all)
+    assert all(len(p) == 20160 for p in payloads)
+
+
+def test_batched_portal_path_real(benchmark, record_table):
+    """The batch interface, measured end-to-end through the portal (not
+    just the cost model): identical catalog, ~n x fewer metered queries."""
+    from repro.portal.demo import build_demo_environment
+    from repro.sky.registry_data import demonstration_cluster
+
+    cluster = demonstration_cluster("A0119")  # 84 galaxies
+
+    def run(batched: bool):
+        env = build_demo_environment(clusters=[cluster], seed_virtual_data_reuse=False)
+        session = env.portal.select_cluster("A0119")
+        env.portal.build_catalog(session)
+        vot = env.portal.resolve_cutouts(session, batched=batched)
+        key = "sia-batch-query" if batched else "sia-query"
+        return vot, env.meter.count(key), env.meter.total(key)
+
+    vot_batched, n_batched, t_batched = benchmark.pedantic(
+        lambda: run(True), rounds=1, iterations=1
+    )
+    vot_single, n_single, t_single = run(False)
+
+    assert vot_batched == vot_single  # identical science inputs
+    assert n_batched == 1
+    assert n_single >= 84
+    assert t_batched < t_single / 5
+
+    record_table(
+        "ablation_sia_batched_real",
+        "portal cutout resolution for 84 galaxies, measured through the real services:\n"
+        f"  per-galaxy SIA: {n_single} queries, {t_single:.1f} virtual seconds\n"
+        f"  batched SIA:    {n_batched} query,  {t_batched:.1f} virtual seconds "
+        f"({t_single / t_batched:.0f}x less query time)\n"
+        "  the returned VOTables are identical.",
+    )

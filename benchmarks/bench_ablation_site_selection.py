@@ -1,0 +1,94 @@
+"""Ablation: site-selection policies (random / round-robin / least-loaded).
+
+The paper's Concrete Workflow Generator "picks a random location to execute
+from among the returned locations"; related systems (Nimrod-G, ASCI Grid)
+schedule by load.  Compares simulated makespan on the campaign's largest
+workflow across the three policies over heterogeneous pools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.condor.pool import CondorPool, GridTopology
+from repro.condor.simulator import GridSimulator, SimulationOptions
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+N_GALAXIES = 200
+POLICIES = ("random", "round-robin", "least-loaded")
+
+
+def heterogeneous_topology() -> GridTopology:
+    topo = GridTopology()
+    topo.add_pool(CondorPool("isi", slots=4, speed=1.0))
+    topo.add_pool(CondorPool("uwisc", slots=24, speed=1.1))
+    topo.add_pool(CondorPool("fnal", slots=8, speed=0.9))
+    return topo
+
+
+def build_planner(policy: str, topo: GridTopology, seed: int):
+    rls = ReplicaLocationService()
+    for site in ("isi", "uwisc", "fnal", "store"):
+        rls.add_site(site)
+    tc = TransformationCatalog()
+    for site in ("isi", "uwisc", "fnal"):
+        tc.install("galMorph", site, "/bin/galmorph")
+    tc.install("concatVOTable", "store", "/bin/concat")
+    jobs = []
+    for i in range(N_GALAXIES):
+        rls.register(f"g{i}.fit", f"gsiftp://store.grid/data/g{i}.fit", "store")
+        jobs.append(AbstractJob(f"d{i}", "galMorph", (f"g{i}.fit",), (f"g{i}.txt",)))
+    jobs.append(
+        AbstractJob(
+            "cat", "concatVOTable", tuple(f"g{i}.txt" for i in range(N_GALAXIES)), ("all.vot",)
+        )
+    )
+    planner = PegasusPlanner(
+        rls,
+        tc,
+        PlannerOptions(output_site="store", site_selection=policy, seed=seed),
+        site_capacities={**topo.capacities(), "store": 8},
+    )
+    return planner, AbstractWorkflow(jobs)
+
+
+def makespan_for(policy: str, topo: GridTopology, seed: int = 2003) -> float:
+    planner, workflow = build_planner(policy, topo, seed)
+    plan = planner.plan(workflow)
+    sim = GridSimulator(topo, SimulationOptions(runtime_jitter=0.0, seed=seed))
+    report = sim.execute(plan.concrete)
+    assert report.succeeded
+    return report.makespan
+
+
+def test_site_selection_policies(benchmark, record_table):
+    topo = heterogeneous_topology()
+
+    def sweep():
+        results: dict[str, list[float]] = {}
+        for policy in POLICIES:
+            seeds = (1, 2, 3) if policy == "random" else (2003,)
+            results[policy] = [makespan_for(policy, topo, seed=s) for s in seeds]
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    means = {policy: float(np.mean(times)) for policy, times in results.items()}
+
+    # least-loaded (capacity-aware) beats both blind policies on a
+    # heterogeneous grid; random and round-robin are comparable.
+    assert means["least-loaded"] < means["random"]
+    assert means["least-loaded"] < means["round-robin"]
+
+    lines = [f"{'policy':<14s} {'mean makespan':>14s} {'runs':>5s}   (200 galMorph jobs, pools 4/24/8 slots)"]
+    for policy in POLICIES:
+        lines.append(f"{policy:<14s} {means[policy]:>13.1f}s {len(results[policy]):>5d}")
+    lines.append("")
+    lines.append(
+        "shape: blind policies overload the 4-slot pool; capacity-aware "
+        "selection is the win the paper deferred to future MDS integration."
+    )
+    record_table("ablation_site_selection", "\n".join(lines))

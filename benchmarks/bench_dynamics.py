@@ -1,0 +1,86 @@
+"""The §2 science goal: the dynamical state of galaxy clusters.
+
+"Our goal is to investigate the dynamical state of galaxy clusters ...
+recent falling of matter into the cluster, be it in the form of single
+galaxies or cluster mass groupings, will show the effects of the merging."
+
+From each portal catalog we compute the robust velocity dispersion and the
+Dressler-Shectman substructure statistic.  The eight demonstration clusters
+are dynamically relaxed; a ninth synthetic cluster with a 30% infalling
+subclump is analysed alongside them and must be the only one flagged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.portal.demo import build_demo_environment
+from repro.portal.dynamics import analyze_dynamics
+from repro.sky.registry_data import DEMONSTRATION_CLUSTERS, demonstration_cluster
+
+#: A merging system alongside the relaxed demonstration sample, on its own
+#: patch of sky (otherwise the cone searches would blend the clusters —
+#: a projection effect real surveys do fight).
+from repro.catalog.coords import SkyPosition
+
+MERGING = dataclasses.replace(
+    demonstration_cluster("A0496"),
+    name="MERGE1",
+    center=SkyPosition(120.0, 35.0),
+    n_galaxies=90,
+    subcluster_fraction=0.30,
+    subcluster_velocity_kms=1800.0,
+)
+
+
+def test_dynamical_state_table(benchmark, record_table):
+    sample = [demonstration_cluster("A3526"), demonstration_cluster("A0496"),
+              demonstration_cluster("A2029"), MERGING]
+    env = build_demo_environment(clusters=sample, seed_virtual_data_reuse=False)
+
+    def run():
+        states = {}
+        for cluster in sample:
+            session = env.portal.run_analysis(cluster.name)
+            states[cluster.name] = analyze_dynamics(
+                session.merged, cluster, n_shuffles=300
+            )
+        return states
+
+    states = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Relaxed clusters sit well inside the null (p-values are uniform under
+    # it, so an occasional ~0.05 is expected — we require p > 0.01); the
+    # merger is detected far beyond doubt.
+    for name in ("A3526", "A0496", "A2029"):
+        assert states[name].ds.p_value > 0.01, name
+    merger = states["MERGE1"]
+    assert merger.ds.has_substructure
+    assert merger.ds.p_value < 0.01
+    assert merger.ds.big_delta / merger.ds.n_galaxies > max(
+        states[n].ds.big_delta / states[n].ds.n_galaxies for n in ("A3526", "A0496", "A2029")
+    )
+
+    # dispersions recover the synthesis input (900 km/s) for relaxed systems
+    for name in ("A0496", "A2029"):
+        assert 550 < states[name].velocity_dispersion_kms < 1350
+
+    lines = [
+        f"{'cluster':<8s} {'N':>4s} {'sigma_v':>8s} {'DS Delta/N':>11s} {'p':>7s} {'state':>14s}"
+    ]
+    for name, state in states.items():
+        p = state.ds.p_value
+        verdict = "substructure" if p < 0.01 else ("marginal" if p < 0.1 else "relaxed")
+        lines.append(
+            f"{name:<8s} {state.n_members:>4d} {state.velocity_dispersion_kms:>7.0f} "
+            f"{state.ds.big_delta / state.ds.n_galaxies:>11.2f} {p:>7.3f} "
+            f"{verdict:>14s}"
+        )
+    lines.append("")
+    lines.append(
+        "shape: the Dressler-Shectman test decisively flags only the cluster "
+        "with an infalling subclump (the 37-galaxy system is marginal, as DS "
+        "is at that sample size) — 'large scale events in the history of the "
+        "galaxy cluster' detected from the portal's own catalogs."
+    )
+    record_table("dynamics", "\n".join(lines))

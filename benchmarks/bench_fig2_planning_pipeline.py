@@ -1,0 +1,73 @@
+"""Figure 2: the Chimera-driven Pegasus pipeline, message by message.
+
+Asserts the numbered flow — abstract DAG in, RLS resolution, reduction,
+TC resolution, concrete DAG, submit files — in order, and times a full
+planning pass at cluster scale.
+"""
+
+from __future__ import annotations
+
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+FIG2_STEPS = [
+    "abstract-workflow-received",  # (1)-(2) Chimera -> Request Manager
+    "request-manager-dispatch",
+    "rls-resolution",  # (3)-(4) logical -> physical file names
+    "dag-reduction",  # (5)-(6) full -> reduced abstract DAG
+    "tc-resolution",  # (7)-(8) logical -> physical transformations
+    "concrete-workflow",  # (9)-(10)
+    "submit-files-generated",  # (11) DAGMan files
+]
+
+
+def build_grid(n_galaxies: int):
+    rls = ReplicaLocationService()
+    for site in ("isi", "uwisc", "fnal", "store"):
+        rls.add_site(site)
+    tc = TransformationCatalog()
+    for site in ("isi", "uwisc", "fnal"):
+        tc.install("galMorph", site, "/usr/bin/galmorph")
+    tc.install("concatVOTable", "store", "/usr/bin/concat")
+    jobs = []
+    for i in range(n_galaxies):
+        rls.register(f"g{i}.fit", f"gsiftp://store.grid/data/g{i}.fit", "store")
+        jobs.append(AbstractJob(f"d{i}", "galMorph", (f"g{i}.fit",), (f"g{i}.txt",)))
+    jobs.append(
+        AbstractJob(
+            "dcat", "concatVOTable", tuple(f"g{i}.txt" for i in range(n_galaxies)), ("all.vot",)
+        )
+    )
+    return rls, tc, AbstractWorkflow(jobs)
+
+
+def test_fig2_message_order(benchmark, record_table):
+    rls, tc, workflow = build_grid(37)
+    planner = PegasusPlanner(
+        rls, tc, PlannerOptions(output_site="store", site_selection="round-robin")
+    )
+    plan = benchmark.pedantic(lambda: planner.plan(workflow), rounds=1, iterations=1)
+
+    kinds = [k for k in planner.events.kinds() if k in FIG2_STEPS]
+    assert kinds == FIG2_STEPS, f"pipeline out of order: {kinds}"
+    assert plan.concrete.stats()["compute"] == 38
+
+    lines = ["Figure 2 pipeline trace (one event per numbered step):"]
+    for event in planner.events:
+        if event.kind in FIG2_STEPS:
+            detail = ", ".join(f"{k}={v}" for k, v in event.detail.items())
+            lines.append(f"  {event.kind:<28s} {detail}")
+    record_table("fig2_planning_pipeline", "\n".join(lines))
+
+
+def test_fig2_planning_throughput_561(benchmark):
+    """Planning cost at the largest cluster's scale (562 jobs)."""
+    rls, tc, workflow = build_grid(561)
+    planner = PegasusPlanner(
+        rls, tc, PlannerOptions(output_site="store", site_selection="round-robin")
+    )
+    plan = benchmark.pedantic(lambda: planner.plan(workflow), rounds=3, iterations=1)
+    assert plan.concrete.stats()["compute"] == 562

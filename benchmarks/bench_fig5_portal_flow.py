@@ -1,0 +1,50 @@
+"""Figure 5: the portal information flow, end to end on one cluster.
+
+Asserts the stage order (select -> image search -> catalog -> cutouts ->
+compute -> merge) and the artifact counts at each stage, and times a full
+portal session on the smallest demonstration cluster (37 galaxies).
+"""
+
+from __future__ import annotations
+
+from repro.portal.demo import build_demo_environment
+from repro.sky.registry_data import demonstration_cluster
+
+FIG5_STAGES = [
+    "cluster-selected",
+    "context-images-found",
+    "catalog-built",
+    "cutouts-resolved",
+    "compute-submitted",
+    "results-received",
+    "results-merged",
+]
+
+
+def test_fig5_portal_flow(benchmark, record_table):
+    cluster = demonstration_cluster("A3526")
+    env = build_demo_environment(clusters=[cluster], seed_virtual_data_reuse=False)
+
+    session = benchmark.pedantic(
+        lambda: env.portal.run_analysis("A3526"), rounds=1, iterations=1
+    )
+
+    kinds = [k for k in env.events.kinds() if k in FIG5_STAGES]
+    assert kinds == FIG5_STAGES, f"portal stages out of order: {kinds}"
+    assert session.n_context_images == cluster.context_image_count
+    assert len(session.catalog) == cluster.n_galaxies
+    assert len(session.merged) == cluster.n_galaxies
+
+    lines = ["Figure 5 portal flow trace:"]
+    for event in env.events:
+        if event.kind in FIG5_STAGES:
+            detail = ", ".join(f"{k}={v}" for k, v in event.detail.items())
+            lines.append(f"  {event.kind:<24s} {detail}")
+    lines.append("")
+    lines.append(
+        f"meter: {env.meter.count('sia-query')} SIA queries, "
+        f"{env.meter.count('sia-download')} image downloads, "
+        f"{env.meter.count('cone-query')} cone searches, "
+        f"{env.meter.count('status-poll')} status polls"
+    )
+    record_table("fig5_portal_flow", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Kernel throughput: the vectorised morphology measurements.
+
+Not a paper table — the §5 campaign's compute cost is dominated by these
+kernels, so their scaling (with cutout size) is tracked here per the HPC
+guide's "no optimisation without measuring".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.fits.io import read_fits_bytes, write_fits_bytes
+from repro.morphology.measures import asymmetry_index, concentration_index
+from repro.morphology.pipeline import galmorph
+from repro.sky.cluster import GalaxyRecord, MorphType
+from repro.sky.galaxy import render_galaxy_image
+from repro.sky.profiles import pixel_integrated_sersic
+
+
+def test_galaxy_rendering(benchmark):
+    galaxy = GalaxyRecord(
+        "bench-g", 150.0, 2.0, 0.05, 17.0, MorphType.SPIRAL, 3.5, 0.3, 45.0, 0.25, 0.1
+    )
+    rng = np.random.default_rng(0)
+    image = benchmark(lambda: render_galaxy_image(galaxy, size=64, rng=rng))
+    assert image.shape == (64, 64)
+
+
+@pytest.mark.parametrize("size", [32, 64, 128])
+def test_asymmetry_scaling(benchmark, size):
+    img = pixel_integrated_sersic((size, size), ((size - 1) / 2, (size - 1) / 2), size / 10, 1.0, 1e4)
+    img = ndimage.gaussian_filter(img, 1.2)
+    center = ((size - 1) / 2, (size - 1) / 2)
+    a = benchmark(lambda: asymmetry_index(img, center, size / 2 - 2))
+    assert a >= 0.0
+
+
+@pytest.mark.parametrize("size", [32, 64, 128])
+def test_concentration_scaling(benchmark, size):
+    img = pixel_integrated_sersic((size, size), ((size - 1) / 2, (size - 1) / 2), size / 10, 4.0, 1e4)
+    img = ndimage.gaussian_filter(img, 1.2)
+    center = ((size - 1) / 2, (size - 1) / 2)
+    c = benchmark(lambda: concentration_index(img, center, size / 2 - 2))
+    assert c > 2.0
+
+
+def test_full_galmorph_job(benchmark):
+    """One complete galMorph invocation: FITS parse -> params (the §5 unit
+    of work; 1144 of these per campaign)."""
+    galaxy = GalaxyRecord(
+        "bench-g2", 150.0, 2.0, 0.05, 17.0, MorphType.ELLIPTICAL, 4.0, 0.2, 0.0, 0.01, 0.05
+    )
+    payload = write_fits_bytes(
+        __import__("repro.fits.hdu", fromlist=["ImageHDU"]).ImageHDU(
+            render_galaxy_image(galaxy, rng=np.random.default_rng(1))
+        )
+    )
+
+    def job():
+        hdu = read_fits_bytes(payload)
+        return galmorph(hdu, redshift=0.05, pix_scale=0.4 / 3600.0, galaxy_id="bench-g2")
+
+    result = benchmark(job)
+    assert result.valid

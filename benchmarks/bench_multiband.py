@@ -1,0 +1,82 @@
+"""Extension (§4.2): "galaxy images from different frequency bands could
+yield different results".
+
+Measures the three morphology parameters for the same cluster in the
+synthetic g, r and i filters.  Star-forming structure is brighter in the
+blue, so the asymmetry of late types rises toward g, while early types stay
+symmetric in every band — multi-band morphology separates star formation
+from dynamics, which is why the paper wants the registry to offer a choice
+of bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.coords import SkyPosition
+from repro.morphology.pipeline import galmorph
+from repro.sky.cluster import ClusterModel, MorphType
+from repro.sky.imaging import CutoutFactory
+
+CLUSTER = ClusterModel(
+    name="BANDS",
+    center=SkyPosition(55.0, 10.0),
+    redshift=0.05,
+    n_galaxies=120,
+    seed=17,
+)
+BANDS = ("g", "r", "i")
+
+
+def measure_band(band: str) -> dict[str, float]:
+    factory = CutoutFactory(CLUSTER, band=band)
+    late_asym, early_asym, late_conc, early_conc = [], [], [], []
+    for member in factory.members():
+        result = galmorph(
+            factory.render_cutout(member.galaxy_id),
+            redshift=member.redshift,
+            pix_scale=0.4 / 3600.0,
+        )
+        if not result.valid:
+            continue
+        if member.morph in (MorphType.SPIRAL, MorphType.IRREGULAR):
+            late_asym.append(result.asymmetry)
+            late_conc.append(result.concentration)
+        else:
+            early_asym.append(result.asymmetry)
+            early_conc.append(result.concentration)
+    return {
+        "late_A": float(np.mean(late_asym)),
+        "early_A": float(np.mean(early_asym)),
+        "late_C": float(np.mean(late_conc)),
+        "early_C": float(np.mean(early_conc)),
+    }
+
+
+def test_multiband_morphology(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: {band: measure_band(band) for band in BANDS}, rounds=1, iterations=1
+    )
+
+    # star formation brightens blue: late-type asymmetry ordered g > r > i
+    assert results["g"]["late_A"] > results["r"]["late_A"] > results["i"]["late_A"]
+    # early types stay symmetric everywhere
+    for band in BANDS:
+        assert results[band]["early_A"] < 0.06
+    # concentration still separates the classes in every band
+    for band in BANDS:
+        assert results[band]["early_C"] > results[band]["late_C"]
+
+    lines = [f"{'band':<5s} {'A(late)':>8s} {'A(early)':>9s} {'C(late)':>8s} {'C(early)':>9s}"]
+    for band in BANDS:
+        r = results[band]
+        lines.append(
+            f"{band:<5s} {r['late_A']:>8.3f} {r['early_A']:>9.3f} "
+            f"{r['late_C']:>8.2f} {r['early_C']:>9.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "shape: late-type asymmetry rises toward the blue (star-forming knots); "
+        "early types are symmetric in all bands; concentration is band-stable."
+    )
+    record_table("multiband_morphology", "\n".join(lines))

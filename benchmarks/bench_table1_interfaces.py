@@ -1,0 +1,60 @@
+"""Table 1: data centers, collections, and the interfaces each implements.
+
+Regenerates the paper's Table 1 from the registry and *verifies* each row by
+actually exercising the declared interface against the synthetic back-end.
+"""
+
+from __future__ import annotations
+
+from repro.portal.demo import build_demo_environment
+from repro.services.protocol import ConeSearchRequest, SIARequest
+from repro.sky.registry_data import DEMONSTRATION_CLUSTERS
+
+PAPER_TABLE1 = [
+    ("Chandra X-ray Center", "Chandra Data Archive", "SIA"),
+    ("NASA High-Energy Astrophysical Science Archive (HEASARC)", "ROSAT X-ray data", "SIA"),
+    ("NASA Infrared Processing and Analysis Center (IPAC)", "NASA Extragalactic Database (NED)", "Cone Search"),
+    ("Canadian Astrophysical Data Center (CADC)", "Canadian Network for Cosmology (CNOC) Survey", "SIA, Cone Search"),
+    ("Multimission Archive at Space Telescope (MAST)", "Digitized Sky Survey (DSS)", "SIA, Cone Search"),
+]
+
+
+def _exercise_registry(env):
+    """Query every registered collection through its declared interface(s)."""
+    cluster = DEMONSTRATION_CLUSTERS[0]
+    sia_req = SIARequest(cluster.center.ra, cluster.center.dec, 2.2 * cluster.tidal_radius_deg)
+    cone_req = ConeSearchRequest(cluster.center.ra, cluster.center.dec, cluster.tidal_radius_deg)
+    services = {
+        "chandra": (env.chandra_archive, None),
+        "rosat": (env.rosat_archive, None),
+        "ned": (None, env.photometry_service),
+        "cnoc": (env.cutout_service, env.redshift_service),
+        "dss": (env.optical_archive, env.photometry_service),
+    }
+    verified = []
+    for center in env.registry.all():
+        sia_service, cone_service = services[center.service_key]
+        checks = []
+        if "SIA" in center.interfaces:
+            assert sia_service is not None
+            checks.append(("SIA", len(sia_service.query(sia_req)) > 0))
+        if "Cone Search" in center.interfaces:
+            assert cone_service is not None
+            checks.append(("Cone Search", len(cone_service.search(cone_req)) > 0))
+        verified.append((center.center, center.collection, checks))
+    return verified
+
+
+def test_table1_interfaces(benchmark, record_table):
+    env = build_demo_environment()
+    verified = benchmark.pedantic(_exercise_registry, args=(env,), rounds=1, iterations=1)
+
+    rows = env.registry.table_rows()
+    assert rows == PAPER_TABLE1  # the registry IS Table 1
+
+    lines = [f"{'Data Center':<58s} {'Collection':<46s} {'Interfaces (verified live)'}"]
+    for (center, collection, checks), _ in zip(verified, rows):
+        assert all(ok for _, ok in checks), f"{collection}: interface check failed"
+        ifaces = ", ".join(f"{name} [OK]" for name, ok in checks)
+        lines.append(f"{center:<58s} {collection:<46s} {ifaces}")
+    record_table("table1_interfaces", "\n".join(lines))

@@ -1,0 +1,91 @@
+"""Format efficiency: TABLEDATA vs BINARY VOTable vs FITS BINTABLE.
+
+§3.1 anticipates "successors to these interfaces ... employ[ing] more
+sophisticated techniques for accessing large amounts of data efficiently".
+For the campaign's largest catalog (561 rows), compare the three
+interchange encodings this repository implements on document size and
+(de)serialisation cost — all three carry the same rows losslessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fits.bintable import BinTableHDU, bintable_to_votable, votable_to_bintable
+from repro.votable.binary import parse_votable_binary, write_votable_binary
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import parse_votable
+from repro.votable.writer import write_votable
+
+
+def campaign_catalog(n_rows: int = 561) -> VOTable:
+    table = VOTable(
+        [
+            Field("id", "char"),
+            Field("ra", "double"),
+            Field("dec", "double"),
+            Field("valid", "boolean"),
+            Field("surface_brightness", "double"),
+            Field("concentration", "double"),
+            Field("asymmetry", "double"),
+        ],
+        name="A1656-morphology",
+    )
+    for i in range(n_rows):
+        table.append(
+            [f"A1656-{i:04d}", 194.9 + i * 1e-4, 27.9 - i * 1e-4, i % 50 != 0,
+             21.0 + 0.001 * i, 2.5 + 0.002 * (i % 100), 0.001 * (i % 200)]
+        )
+    return table
+
+
+def test_tabledata_roundtrip_cost(benchmark):
+    table = campaign_catalog()
+    text = write_votable(table)
+    assert benchmark(lambda: parse_votable(write_votable(table))) == table
+    assert len(text) > 0
+
+
+def test_binary_roundtrip_cost(benchmark):
+    table = campaign_catalog()
+    assert benchmark(lambda: parse_votable_binary(write_votable_binary(table))) == table
+
+
+def test_bintable_roundtrip_cost(benchmark):
+    table = campaign_catalog()
+
+    def roundtrip():
+        payload = votable_to_bintable(table).to_bytes()
+        hdu, _ = BinTableHDU.from_bytes(payload)
+        return bintable_to_votable(hdu)
+
+    back = benchmark(roundtrip)
+    assert len(back) == len(table)
+
+
+def test_format_size_comparison(benchmark, record_table):
+    table = campaign_catalog()
+    tabledata, binary, bintable = benchmark.pedantic(
+        lambda: (
+            len(write_votable(table).encode()),
+            len(write_votable_binary(table).encode()),
+            len(votable_to_bintable(table).to_bytes()),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert binary < tabledata / 2  # base64 stream halves the XML bloat
+    assert bintable < tabledata  # fixed-width packing beats per-cell XML
+
+    lines = [
+        "561-row morphology catalog, one payload three ways:",
+        f"  VOTable TABLEDATA : {tabledata:>8d} bytes  (the paper's transport)",
+        f"  VOTable BINARY    : {binary:>8d} bytes  ({tabledata / binary:.1f}x smaller)",
+        f"  FITS BINTABLE     : {bintable:>8d} bytes  ({tabledata / bintable:.1f}x smaller)",
+        "",
+        "all three round-trip the rows losslessly (asserted by the format",
+        "property tests); the efficient encodings are the 'successors to",
+        "these interfaces' §3.1 anticipates.",
+    ]
+    record_table("votable_formats", "\n".join(lines))

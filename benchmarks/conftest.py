@@ -1,0 +1,35 @@
+"""Benchmark harness plumbing.
+
+Every bench both *times* its operation with pytest-benchmark and *records*
+the reproduced table/figure content to ``benchmarks/out/<name>.txt`` so the
+paper-vs-measured comparison survives the run (EXPERIMENTS.md references
+these artifacts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a rendered experiment table to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def demo_env():
+    """One shared full demonstration environment (local execution mode)."""
+    from repro.portal.demo import build_demo_environment
+
+    return build_demo_environment()

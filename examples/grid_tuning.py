@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Tuning the Grid: job clustering and MDS-aware scheduling, side by side.
+
+The campaign's galMorph jobs are "fairly light" (§2), so two systems-level
+knobs dominate wall-clock: how many jobs share one Condor-G submission
+(horizontal clustering) and whether the planner knows the pools' live load
+(the MDS integration the paper lists as future work).  This example sweeps
+both on a simulated 150-galaxy workflow.
+
+Run:  python examples/grid_tuning.py
+"""
+
+from repro.condor.mds import MdsSiteSelector, MonitoringService, ResourceRecord
+from repro.condor.pool import CondorPool, GridTopology
+from repro.condor.simulator import GridSimulator, SimulationOptions
+from repro.pegasus.clustering import cluster_workflow
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+N_JOBS = 150
+JOB_OVERHEAD_S = 25.0
+EXTERNAL_LOAD = {"isi": 0, "uwisc": 16, "fnal": 0}
+
+
+def topology() -> GridTopology:
+    topo = GridTopology()
+    topo.add_pool(CondorPool("isi", slots=12, speed=1.0))
+    topo.add_pool(CondorPool("uwisc", slots=20, speed=1.1))
+    topo.add_pool(CondorPool("fnal", slots=12, speed=0.9))
+    return topo
+
+
+def loaded_topology() -> GridTopology:
+    topo = GridTopology()
+    for name, pool in topology().pools.items():
+        topo.add_pool(
+            CondorPool(name, slots=max(pool.slots - EXTERNAL_LOAD[name], 1), speed=pool.speed)
+        )
+    return topo
+
+
+def build_planner(selector_factory=None) -> tuple[PegasusPlanner, AbstractWorkflow]:
+    rls = ReplicaLocationService()
+    for site in ("isi", "uwisc", "fnal", "store"):
+        rls.add_site(site)
+    tc = TransformationCatalog()
+    for site in ("isi", "uwisc", "fnal"):
+        tc.install("galMorph", site, "/bin/galmorph")
+    tc.install("concatVOTable", "store", "/bin/concat")
+    jobs = []
+    for i in range(N_JOBS):
+        rls.register(f"g{i}.fit", f"gsiftp://store.grid/data/g{i}.fit", "store")
+        jobs.append(AbstractJob(f"d{i}", "galMorph", (f"g{i}.fit",), (f"g{i}.txt",)))
+    jobs.append(
+        AbstractJob("cat", "concatVOTable", tuple(f"g{i}.txt" for i in range(N_JOBS)), ("all.vot",))
+    )
+    planner = PegasusPlanner(
+        rls,
+        tc,
+        PlannerOptions(output_site="store", site_selection="random"),
+        site_selector_factory=selector_factory,
+    )
+    return planner, AbstractWorkflow(jobs)
+
+
+def simulate(plan_concrete, topo) -> float:
+    sim = GridSimulator(topo, SimulationOptions(runtime_jitter=0.0, job_overhead_s=JOB_OVERHEAD_S))
+    report = sim.execute(plan_concrete)
+    assert report.succeeded
+    return report.makespan
+
+
+def main() -> None:
+    print(f"{N_JOBS} galMorph jobs, {JOB_OVERHEAD_S:.0f}s Condor-G overhead per submission\n")
+
+    # --- knob 1: clustering ------------------------------------------------
+    planner, workflow = build_planner()
+    plan = planner.plan(workflow)
+    print("clustering sweep (idle pools):")
+    print(f"{'bundle':>7s} {'units':>6s} {'makespan':>9s}")
+    for size in (1, 2, 4, 8, 16):
+        cw = plan.concrete if size == 1 else cluster_workflow(plan.concrete, size)
+        units = len(cw.compute_nodes()) + len(cw.clustered_nodes())
+        print(f"{size:>7d} {units:>6d} {simulate(cw, topology()):>8.1f}s")
+
+    # --- knob 2: MDS-aware placement under external load --------------------
+    print(f"\nexternal load: uwisc has {EXTERNAL_LOAD['uwisc']}/20 slots busy")
+    mds = MonitoringService()
+    for name, pool in topology().pools.items():
+        mds.publish(ResourceRecord(name, pool.slots, EXTERNAL_LOAD[name], pool.speed, 0.0))
+    # the service host advertises itself too (it runs the concat job)
+    mds.publish(ResourceRecord("store", 2, 0, 1.0, 0.0))
+
+    static_plan = build_planner()[0].plan(workflow)
+    planner_mds, _ = build_planner(lambda: MdsSiteSelector(mds))
+    mds_plan = planner_mds.plan(workflow)
+
+    static_makespan = simulate(static_plan.concrete, loaded_topology())
+    mds_makespan = simulate(mds_plan.concrete, loaded_topology())
+    print(f"{'random placement':<22s} {static_makespan:>8.1f}s")
+    print(f"{'MDS-aware placement':<22s} {mds_makespan:>8.1f}s "
+          f"({static_makespan / mds_makespan:.2f}x faster)")
+
+    # --- both together -------------------------------------------------------
+    best = simulate(cluster_workflow(mds_plan.concrete, 4), loaded_topology())
+    print(f"{'MDS + bundles of 4':<22s} {best:>8.1f}s "
+          f"({static_makespan / best:.2f}x faster than naive)")
+
+
+if __name__ == "__main__":
+    main()

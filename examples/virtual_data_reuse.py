@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Virtual data in action: reduction, caching, and the RLS short circuit.
+
+Three escalating demonstrations of the paper's §3.2 claim that "it is more
+costly to execute a component (a job) than to access the results":
+
+1. the textbook Figure 1 -> 3 -> 4 reduction on the paper's own example;
+2. a partially-materialised cluster workflow (another user already analysed
+   half the galaxies) — Pegasus runs only the remainder;
+3. the web service's RLS short circuit — a repeated request never touches
+   the Grid at all.
+
+Run:  python examples/virtual_data_reuse.py
+"""
+
+from repro.portal import build_demo_environment
+from repro.rls.rls import ReplicaLocationService
+from repro.sky.registry_data import demonstration_cluster
+from repro.tc.catalog import TransformationCatalog
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.vdl.catalog import VirtualDataCatalog
+from repro.vdl.composer import compose_workflow
+from repro.workflow.viz import render_ascii
+
+
+def figure_1_3_4() -> None:
+    print("=" * 70)
+    print("1. the paper's own example (Figures 1, 3, 4)")
+    print("=" * 70)
+    catalog = VirtualDataCatalog()
+    catalog.define(
+        """
+        TR t1( in x, out y ) { }
+        TR t2( in x, out y ) { }
+        DV d1->t1( x=@{in:"a"}, y=@{out:"b"} );
+        DV d2->t2( x=@{in:"b"}, y=@{out:"c"} );
+        """
+    )
+    workflow = compose_workflow(catalog, ["c"])
+    rls = ReplicaLocationService()
+    for site in ("A", "B", "U"):
+        rls.add_site(site)
+    rls.register("a", "gsiftp://A.grid/data/a", "A")
+    tc = TransformationCatalog()
+    tc.install("t1", "B", "/bin/t1")
+    tc.install("t2", "B", "/bin/t2")
+    planner = PegasusPlanner(
+        rls, tc, PlannerOptions(output_site="U", site_selection="round-robin", replica_selection="first")
+    )
+
+    print("\nrequest c with only raw a in the RLS:")
+    print(render_ascii(planner.plan(workflow).concrete.dag))
+
+    rls.register("b", "gsiftp://A.grid/data/b", "A")
+    print("\nnow b is materialised (Figure 3): d1 is pruned (Figure 4):")
+    plan = planner.plan(workflow)
+    print(render_ascii(plan.concrete.dag))
+    print("pruned jobs:", list(plan.reduction.pruned_jobs))
+
+
+def partially_materialised_cluster() -> None:
+    print()
+    print("=" * 70)
+    print("2. half the cluster was already analysed by someone else")
+    print("=" * 70)
+    cluster = demonstration_cluster("A2390")  # 68 galaxies
+    env = build_demo_environment(clusters=[cluster], seed_virtual_data_reuse=False)
+    session = env.portal.select_cluster("A2390")
+    env.portal.build_catalog(session)
+    vot = env.portal.resolve_cutouts(session)
+
+    # First run: everything computes; its per-galaxy results are registered.
+    env.compute_service.gal_morph_compute(vot, "first.vot", "A2390")
+    first = list(env.compute_service.requests.values())[-1]
+    print(f"\nfirst analysis: {len(first.plan.reduced)} jobs executed")
+
+    # Drop the final VOTable from the RLS but keep the per-galaxy results —
+    # exactly the state a *different* output request sees.
+    url = env.compute_service.gal_morph_compute(vot, "second.vot", "A2390")
+    second = list(env.compute_service.requests.values())[-1]
+    print(
+        f"second analysis (different output name): {len(second.plan.reduced)} job(s) "
+        f"executed, {len(second.plan.reduction.pruned_jobs)} pruned, "
+        f"{len(second.plan.reduction.reused_lfns)} results reused from the RLS"
+    )
+    print("status:", env.compute_service.poll(url).state)
+
+
+def short_circuit() -> None:
+    print()
+    print("=" * 70)
+    print("3. the web service's RLS short circuit (Figure 6 step 2)")
+    print("=" * 70)
+    cluster = demonstration_cluster("A3526")
+    env = build_demo_environment(clusters=[cluster])
+    session = env.portal.select_cluster("A3526")
+    env.portal.build_catalog(session)
+    vot = env.portal.resolve_cutouts(session)
+
+    env.compute_service.gal_morph_compute(vot, "morph.vot", "A3526")
+    first = list(env.compute_service.requests.values())[-1]
+    env.compute_service.gal_morph_compute(vot, "morph.vot", "A3526")
+    repeat = list(env.compute_service.requests.values())[-1]
+    print(f"\nfirst request: short-circuited={first.short_circuited}, "
+          f"downloads={first.images_downloaded}, jobs={len(first.report.compute_runs)}")
+    print(f"repeat request: short-circuited={repeat.short_circuited}, "
+          f"downloads={repeat.images_downloaded}, jobs=0")
+
+
+if __name__ == "__main__":
+    figure_1_3_4()
+    partially_materialised_cluster()
+    short_circuit()

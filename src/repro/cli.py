@@ -1,0 +1,217 @@
+"""Command-line interface: drive the reproduction from a terminal.
+
+Subcommands mirror what an NVO user (or the paper's reader) would do::
+
+    python -m repro clusters                 # the portal's pick-list
+    python -m repro analyze A3526            # one Figure 5 session
+    python -m repro campaign                 # the full §5 run
+    python -m repro dressler A2029           # Figure 7, in ASCII
+    python -m repro registry                 # Table 1
+    python -m repro explain A3526 A3526-0001.txt   # provenance of a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _env(clusters=None, **kwargs):
+    from repro.portal.demo import build_demo_environment
+    from repro.sky.registry_data import demonstration_cluster
+
+    if clusters:
+        clusters = [demonstration_cluster(name) for name in clusters]
+        return build_demo_environment(clusters=clusters, **kwargs)
+    return build_demo_environment(**kwargs)
+
+
+def cmd_clusters(_: argparse.Namespace) -> int:
+    from repro.sky.registry_data import DEMONSTRATION_CLUSTERS
+
+    print(f"{'name':<8s} {'ra':>9s} {'dec':>8s} {'z':>7s} {'members':>8s}")
+    for cluster in DEMONSTRATION_CLUSTERS:
+        print(
+            f"{cluster.name:<8s} {cluster.center.ra:>9.3f} {cluster.center.dec:>8.3f} "
+            f"{cluster.redshift:>7.4f} {cluster.n_galaxies:>8d}"
+        )
+    return 0
+
+
+def cmd_registry(_: argparse.Namespace) -> int:
+    from repro.services.registry import default_registry
+
+    print(f"{'Data Center':<58s} {'Collection':<46s} Interfaces")
+    for center, collection, interfaces in default_registry().table_rows():
+        print(f"{center:<58s} {collection:<46s} {interfaces}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    env = _env([args.cluster])
+    t0 = time.time()
+    session = env.portal.run_analysis(args.cluster)
+    elapsed = time.time() - t0
+    merged = session.merged
+    assert merged is not None
+    valid = sum(1 for r in merged if r["valid"])
+    print(
+        f"{args.cluster}: {len(merged)} galaxies, {valid} valid measurements, "
+        f"{session.n_context_images} context images, {elapsed:.1f}s wall"
+    )
+    if args.table:
+        print(f"\n{'id':<14s} {'C':>6s} {'A':>7s} {'mu':>8s} {'valid':>6s}")
+        for row in merged:
+            c = f"{row['concentration']:.2f}" if row["concentration"] is not None else "-"
+            a = f"{row['asymmetry']:.3f}" if row["asymmetry"] is not None else "-"
+            mu = f"{row['surface_brightness']:.2f}" if row["surface_brightness"] is not None else "-"
+            print(f"{row['id']:<14s} {c:>6s} {a:>7s} {mu:>8s} {str(row['valid']):>6s}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.portal.campaign import run_campaign
+
+    env = _env(site_selection=args.site_selection)
+    t0 = time.time()
+    report = run_campaign(env)
+    print(report.totals_table())
+    print(f"\nwall time: {time.time() - t0:.1f}s; pools: {', '.join(report.pools_used())}")
+    ok = [r.analysis.rediscovered for r in report.records if r.analysis]
+    print(f"Dressler relation rediscovered in {sum(ok)}/{len(ok)} clusters")
+    return 0
+
+
+def cmd_dressler(args: argparse.Namespace) -> int:
+    from repro.portal.analysis import analyze_morphology_catalog
+    from repro.portal.visualize import ascii_overlay
+
+    env = _env([args.cluster])
+    session = env.portal.run_analysis(args.cluster)
+    analysis = analyze_morphology_catalog(session.merged, session.cluster)
+    print(analysis.summary())
+    print()
+    print(ascii_overlay(session.merged, session.cluster))
+    return 0
+
+
+def cmd_bands(args: argparse.Namespace) -> int:
+    """Compare morphology across synthetic filters for one cluster."""
+    import numpy as np
+
+    from repro.morphology.pipeline import galmorph
+    from repro.sky.cluster import MorphType
+    from repro.sky.imaging import CutoutFactory
+    from repro.sky.registry_data import demonstration_cluster
+
+    cluster = demonstration_cluster(args.cluster)
+    print(f"{args.cluster}: mean asymmetry / concentration by band and class\n")
+    print(f"{'band':<5s} {'A(late)':>8s} {'A(early)':>9s} {'C(late)':>8s} {'C(early)':>9s}")
+    for band in ("g", "r", "i"):
+        factory = CutoutFactory(cluster, band=band)
+        late_a, early_a, late_c, early_c = [], [], [], []
+        for member in factory.members():
+            result = galmorph(
+                factory.render_cutout(member.galaxy_id),
+                redshift=member.redshift,
+                pix_scale=0.4 / 3600.0,
+            )
+            if not result.valid:
+                continue
+            late = member.morph in (MorphType.SPIRAL, MorphType.IRREGULAR)
+            (late_a if late else early_a).append(result.asymmetry)
+            (late_c if late else early_c).append(result.concentration)
+        print(
+            f"{band:<5s} {np.mean(late_a):>8.3f} {np.mean(early_a):>9.3f} "
+            f"{np.mean(late_c):>8.2f} {np.mean(early_c):>9.2f}"
+        )
+    print("\nstar-forming structure is brighter in the blue: A(g) > A(r) > A(i) for late types")
+    return 0
+
+
+def cmd_dynamics(args: argparse.Namespace) -> int:
+    from repro.portal.dynamics import analyze_dynamics
+
+    env = _env([args.cluster])
+    session = env.portal.run_analysis(args.cluster)
+    state = analyze_dynamics(session.merged, session.cluster, n_shuffles=args.shuffles)
+    print(state.summary())
+    return 0
+
+
+def cmd_overlay(args: argparse.Namespace) -> int:
+    from repro.portal.overlay import build_overlay, write_overlay
+
+    env = _env([args.cluster])
+    session = env.portal.run_analysis(args.cluster)
+    product = build_overlay(session.merged, session.cluster)
+    paths = write_overlay(product, args.outdir)
+    for role, path in paths.items():
+        print(f"{role:>8s}: {path}")
+    print("load the two FITS layers plus the .reg file in DS9/Aladin for Figure 7")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    env = _env([args.cluster])
+    env.portal.run_analysis(args.cluster)
+    print(env.vds.provenance.lineage_text(args.lfn))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'03 NVO Galaxy Morphology reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("clusters", help="list the demonstration clusters").set_defaults(fn=cmd_clusters)
+    sub.add_parser("registry", help="print Table 1 (data centers and interfaces)").set_defaults(fn=cmd_registry)
+
+    p = sub.add_parser("analyze", help="run the full portal flow for one cluster")
+    p.add_argument("cluster")
+    p.add_argument("--table", action="store_true", help="print the per-galaxy results")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("campaign", help="run the full eight-cluster §5 campaign")
+    p.add_argument(
+        "--site-selection",
+        default="round-robin",
+        choices=("random", "round-robin", "least-loaded"),
+    )
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("dressler", help="Figure 7 analysis + ASCII overlay")
+    p.add_argument("cluster")
+    p.set_defaults(fn=cmd_dressler)
+
+    p = sub.add_parser("bands", help="morphology across the synthetic g/r/i filters")
+    p.add_argument("cluster")
+    p.set_defaults(fn=cmd_bands)
+
+    p = sub.add_parser("dynamics", help="velocity dispersion + DS substructure test")
+    p.add_argument("cluster")
+    p.add_argument("--shuffles", type=int, default=300)
+    p.set_defaults(fn=cmd_dynamics)
+
+    p = sub.add_parser("overlay", help="write the Figure 7 FITS + region layers")
+    p.add_argument("cluster")
+    p.add_argument("--outdir", default="overlay-products")
+    p.set_defaults(fn=cmd_overlay)
+
+    p = sub.add_parser("explain", help="provenance of a logical file after an analysis")
+    p.add_argument("cluster")
+    p.add_argument("lfn")
+    p.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Condor-G / DAGMan execution substrate.
+
+"Pegasus ... submits it to Condor-G/DAGMan for execution" (§3.2).  Two
+interchangeable back-ends execute the same concrete workflows:
+
+* :class:`GridSimulator` — a discrete-event simulation of the three Condor
+  pools (slots, relative CPU speeds, inter-site bandwidth/latency, failure
+  injection).  Used for timing/ablation benchmarks where wall-clock shape
+  matters.
+* :class:`LocalExecutor` — real execution: compute nodes invoke registered
+  Python callables (the actual galMorph code), transfer nodes move real
+  bytes between :class:`~repro.rls.site.StorageSite` stores, registration
+  nodes publish into the live RLS.  Used for the end-to-end science runs.
+
+Both are driven by the shared :class:`DagmanState` scheduler, which
+implements DAGMan's release-on-parent-success semantics, per-node retries,
+and rescue-DAG generation.
+"""
+
+from repro.condor.dagman import DagmanState, NodeStatus
+from repro.condor.gram import GramGateway, GridCredential
+from repro.condor.local import ExecutableRegistry, LocalExecutor
+from repro.condor.mds import MdsSiteSelector, MonitoringService, ResourceRecord
+from repro.condor.myproxy import MyProxyServer
+from repro.condor.pool import CondorPool, GridTopology
+from repro.condor.report import ExecutionReport, NodeRun
+from repro.condor.rescue import rescue_dag_text
+from repro.condor.simulator import GridSimulator
+
+__all__ = [
+    "DagmanState",
+    "NodeStatus",
+    "GramGateway",
+    "GridCredential",
+    "ExecutableRegistry",
+    "LocalExecutor",
+    "MonitoringService",
+    "MdsSiteSelector",
+    "ResourceRecord",
+    "MyProxyServer",
+    "CondorPool",
+    "GridTopology",
+    "ExecutionReport",
+    "NodeRun",
+    "rescue_dag_text",
+    "GridSimulator",
+]

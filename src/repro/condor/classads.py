@@ -1,0 +1,290 @@
+"""ClassAd-style matchmaking: how jobs meet machines inside a Condor pool.
+
+§3.3: "The scheduling of jobs within a condor pool is left to the condor
+matchmaking system" (Litzkow 1988).  This module implements a compact
+ClassAd dialect sufficient for that role:
+
+* **ads** are attribute dictionaries (numbers, strings, booleans);
+* each ad may carry a ``requirements`` expression that must evaluate true
+  against the *other* party's attributes (symmetric matching), and a
+  ``rank`` expression whose value orders acceptable matches;
+* expressions support comparisons, ``&&`` / ``||`` / ``!``, arithmetic,
+  parentheses, and cross-ad attribute references via the ``other.`` prefix
+  (standing in for ClassAds' TARGET scope).
+
+The :class:`Matchmaker` pairs job ads with machine ads exactly as a Condor
+negotiator cycle does: feasibility both ways, then rank.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.errors import ExecutionError
+
+
+class ClassAdError(ExecutionError):
+    """Malformed expression or evaluation failure."""
+
+
+# -- expression engine ---------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>"[^"]*")
+  | (?P<op>&&|\|\||==|!=|<=|>=|[<>()!+\-*/])
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true": True, "false": False, "undefined": None}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise ClassAdError(f"unexpected character {text[pos]!r} in expression {text!r}")
+        pos = m.end()
+        kind = m.lastgroup or ""
+        if kind == "ws":
+            continue
+        out.append((kind, m.group()))
+    return out
+
+
+class _Parser:
+    """Recursive-descent parser producing a small AST of tuples."""
+
+    def __init__(self, tokens: list[tuple[str, str]], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ClassAdError(f"unexpected end of expression: {self.source!r}")
+        self.index += 1
+        return tok
+
+    def expect_op(self, op: str) -> None:
+        kind, value = self.next()
+        if kind != "op" or value != op:
+            raise ClassAdError(f"expected {op!r}, got {value!r} in {self.source!r}")
+
+    # grammar: or_expr > and_expr > not_expr > comparison > additive > term
+    def parse(self) -> tuple:
+        node = self.or_expr()
+        if self.peek() is not None:
+            raise ClassAdError(f"trailing tokens in expression {self.source!r}")
+        return node
+
+    def or_expr(self) -> tuple:
+        node = self.and_expr()
+        while (tok := self.peek()) and tok == ("op", "||"):
+            self.next()
+            node = ("or", node, self.and_expr())
+        return node
+
+    def and_expr(self) -> tuple:
+        node = self.not_expr()
+        while (tok := self.peek()) and tok == ("op", "&&"):
+            self.next()
+            node = ("and", node, self.not_expr())
+        return node
+
+    def not_expr(self) -> tuple:
+        if (tok := self.peek()) and tok == ("op", "!"):
+            self.next()
+            return ("not", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> tuple:
+        node = self.additive()
+        tok = self.peek()
+        if tok and tok[0] == "op" and tok[1] in ("==", "!=", "<", ">", "<=", ">="):
+            op = self.next()[1]
+            return ("cmp", op, node, self.additive())
+        return node
+
+    def additive(self) -> tuple:
+        node = self.multiplicative()
+        while (tok := self.peek()) and tok[0] == "op" and tok[1] in ("+", "-"):
+            op = self.next()[1]
+            node = ("arith", op, node, self.multiplicative())
+        return node
+
+    def multiplicative(self) -> tuple:
+        node = self.term()
+        while (tok := self.peek()) and tok[0] == "op" and tok[1] in ("*", "/"):
+            op = self.next()[1]
+            node = ("arith", op, node, self.term())
+        return node
+
+    def term(self) -> tuple:
+        kind, value = self.next()
+        if kind == "number":
+            return ("lit", float(value) if "." in value else int(value))
+        if kind == "string":
+            return ("lit", value[1:-1])
+        if kind == "name":
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                return ("lit", _KEYWORDS[lowered])
+            return ("ref", value)
+        if kind == "op" and value == "(":
+            node = self.or_expr()
+            self.expect_op(")")
+            return node
+        if kind == "op" and value == "-":
+            return ("neg", self.term())
+        raise ClassAdError(f"unexpected token {value!r} in {self.source!r}")
+
+
+def parse_expression(text: str) -> tuple:
+    """Parse a ClassAd expression to an AST (cached by callers)."""
+    return _Parser(_tokenize(text), text).parse()
+
+
+def evaluate(node: tuple, own: dict[str, Any], other: dict[str, Any]) -> Any:
+    """Evaluate an AST against own/other attribute scopes.
+
+    Undefined references evaluate to ``None``; comparisons/boolean
+    operators over ``None`` yield False (ClassAds' strict semantics,
+    simplified).
+    """
+    kind = node[0]
+    if kind == "lit":
+        return node[1]
+    if kind == "ref":
+        name = node[1]
+        if name.startswith("other."):
+            return other.get(name[6:])
+        if name.startswith("my."):
+            return own.get(name[3:])
+        return own.get(name)
+    if kind == "not":
+        value = evaluate(node[1], own, other)
+        return not bool(value) if value is not None else False
+    if kind == "and":
+        return bool(evaluate(node[1], own, other)) and bool(evaluate(node[2], own, other))
+    if kind == "or":
+        return bool(evaluate(node[1], own, other)) or bool(evaluate(node[2], own, other))
+    if kind == "neg":
+        value = evaluate(node[1], own, other)
+        if not isinstance(value, (int, float)):
+            raise ClassAdError(f"cannot negate {value!r}")
+        return -value
+    if kind == "cmp":
+        _, op, left_node, right_node = node
+        left = evaluate(left_node, own, other)
+        right = evaluate(right_node, own, other)
+        if left is None or right is None:
+            return False
+        try:
+            if op == "==":
+                return left == right
+            if op == "!=":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == ">":
+                return left > right
+            if op == "<=":
+                return left <= right
+            return left >= right
+        except TypeError as exc:
+            raise ClassAdError(f"cannot compare {left!r} {op} {right!r}") from exc
+    if kind == "arith":
+        _, op, left_node, right_node = node
+        left = evaluate(left_node, own, other)
+        right = evaluate(right_node, own, other)
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise ClassAdError(f"arithmetic on non-numbers: {left!r} {op} {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise ClassAdError("division by zero in ClassAd expression")
+        return left / right
+    raise ClassAdError(f"unknown AST node {kind!r}")  # pragma: no cover
+
+
+# -- ads and the matchmaker ------------------------------------------------------
+
+
+@dataclass
+class ClassAd:
+    """One advertisement: attributes plus requirements/rank expressions."""
+
+    attributes: dict[str, Any] = field(default_factory=dict)
+    requirements: str = "true"
+    rank: str = "0"
+
+    def __post_init__(self) -> None:
+        self._requirements_ast = parse_expression(self.requirements)
+        self._rank_ast = parse_expression(self.rank)
+
+    def accepts(self, other: "ClassAd") -> bool:
+        """Does this ad's requirements expression accept the other party?"""
+        return bool(evaluate(self._requirements_ast, self.attributes, other.attributes))
+
+    def rank_of(self, other: "ClassAd") -> float:
+        value = evaluate(self._rank_ast, self.attributes, other.attributes)
+        if value is None:
+            return 0.0
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if not isinstance(value, (int, float)):
+            raise ClassAdError(f"rank must be numeric, got {value!r}")
+        return float(value)
+
+
+class Matchmaker:
+    """Pairs job ads with machine ads, Condor-negotiator style."""
+
+    def match(self, job: ClassAd, machines: Iterable[ClassAd]) -> ClassAd | None:
+        """The best mutually acceptable machine for ``job`` (or None).
+
+        Feasibility is symmetric (both requirements must hold); among
+        feasible machines the job's rank decides, machine rank as the
+        tie-breaker.
+        """
+        best: tuple[float, float, int] | None = None
+        best_machine: ClassAd | None = None
+        for index, machine in enumerate(machines):
+            if not job.accepts(machine) or not machine.accepts(job):
+                continue
+            key = (job.rank_of(machine), machine.rank_of(job), -index)
+            if best is None or key > best:
+                best = key
+                best_machine = machine
+        return best_machine
+
+    def match_all(
+        self, jobs: list[ClassAd], machines: list[ClassAd]
+    ) -> list[tuple[ClassAd, ClassAd | None]]:
+        """One negotiation cycle: each job claims its best machine; claimed
+        machines are unavailable to later jobs (one claim per cycle)."""
+        available = list(machines)
+        out: list[tuple[ClassAd, ClassAd | None]] = []
+        for job in jobs:
+            machine = self.match(job, available)
+            if machine is not None:
+                available.remove(machine)
+            out.append((job, machine))
+        return out

@@ -1,0 +1,51 @@
+"""GRAM / GSI shim: authenticated job submission.
+
+"This prototype web service submits jobs onto the Grid using the
+credentials stored at the web server" (§4.3.1(5)).  The gateway checks a
+:class:`GridCredential` before accepting work — enough to reproduce the
+authentication design decision (including expired-proxy failures) without
+a real security stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class GridCredential:
+    """A proxy credential, MyProxy-style: subject plus lifetime."""
+
+    subject: str
+    issued_at: float = 0.0
+    lifetime_s: float = 12 * 3600.0
+
+    def is_valid(self, now: float) -> bool:
+        return self.issued_at <= now < self.issued_at + self.lifetime_s
+
+
+class GramGateway:
+    """Entry point jobs pass through on their way to a pool.
+
+    Counts submissions per site so benches can report the §5 three-pool
+    spread; rejects work when the presented credential is invalid.
+    """
+
+    def __init__(self) -> None:
+        self.submissions: dict[str, int] = {}
+
+    def authenticate(self, credential: GridCredential, now: float) -> None:
+        if not credential.is_valid(now):
+            raise ExecutionError(
+                f"GSI authentication failed for {credential.subject!r}: proxy expired"
+            )
+
+    def submit(self, site: str, credential: GridCredential, now: float) -> None:
+        """Record an authenticated submission to ``site``."""
+        self.authenticate(credential, now)
+        self.submissions[site] = self.submissions.get(site, 0) + 1
+
+    def total_submissions(self) -> int:
+        return sum(self.submissions.values())

@@ -1,0 +1,273 @@
+"""The real executor: concrete workflows over actual bytes and callables.
+
+Where the simulator models time, :class:`LocalExecutor` does the work:
+compute nodes call registered Python functions (the real ``galMorph`` and
+``concatVOTable`` of :mod:`repro.portal.executables`), transfer nodes move
+bytes between :class:`~repro.rls.site.StorageSite` stores, registration
+nodes publish into the live RLS.  Parallelism uses a thread pool (the
+workloads are numpy-bound, which releases the GIL in the kernels), with all
+DAGMan state transitions confined to the driver thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable
+
+from repro.condor.dagman import DagmanState, NodeStatus
+from repro.condor.gram import GramGateway, GridCredential
+from repro.condor.report import ExecutionReport, NodeRun
+from repro.core.errors import ExecutionError, TransportError
+from repro.core.provenance import InvocationRecord, ProvenanceStore
+from repro.rls.rls import ReplicaLocationService
+from repro.rls.site import StorageSite
+from repro.utils.events import EventLog
+from repro.workflow.abstract import AbstractJob
+from repro.workflow.concrete import (
+    ClusteredComputeNode,
+    ComputeNode,
+    ConcreteWorkflow,
+    RegistrationNode,
+    TransferNode,
+)
+
+#: A transformation body: (job, inputs by lfn) -> outputs by lfn.
+Executable = Callable[[AbstractJob, dict[str, bytes]], dict[str, bytes]]
+
+
+class ExecutableRegistry:
+    """Maps logical transformation names to Python callables.
+
+    This is the local-execution counterpart of the Transformation Catalog:
+    the TC says *where* an executable lives; the registry says *what it
+    does* when this process is the execution site.
+    """
+
+    def __init__(self) -> None:
+        self._executables: dict[str, Executable] = {}
+
+    def register(self, transformation: str, fn: Executable) -> None:
+        if transformation in self._executables:
+            raise ValueError(f"executable for {transformation!r} already registered")
+        self._executables[transformation] = fn
+
+    def get(self, transformation: str) -> Executable:
+        if transformation not in self._executables:
+            raise ExecutionError(f"no executable registered for transformation {transformation!r}")
+        return self._executables[transformation]
+
+    def __contains__(self, transformation: str) -> bool:
+        return transformation in self._executables
+
+
+class LocalExecutor:
+    """Thread-pooled real execution of concrete workflows."""
+
+    def __init__(
+        self,
+        sites: dict[str, StorageSite],
+        registry: ExecutableRegistry,
+        rls: ReplicaLocationService,
+        max_workers: int = 8,
+        max_retries: int = 2,
+        provenance: ProvenanceStore | None = None,
+        event_log: EventLog | None = None,
+        gram: GramGateway | None = None,
+        credential: GridCredential | None = None,
+    ) -> None:
+        self.sites = dict(sites)
+        self.registry = registry
+        self.rls = rls
+        self.max_workers = max_workers
+        self.max_retries = max_retries
+        self.provenance = provenance if provenance is not None else ProvenanceStore()
+        self.events = event_log if event_log is not None else EventLog()
+        self.gram = gram
+        self.credential = credential
+        self._rls_lock = threading.Lock()
+
+    # -- storage helpers -----------------------------------------------------
+    def _site(self, name: str) -> StorageSite:
+        if name not in self.sites:
+            raise ExecutionError(f"no storage configured for site {name!r}")
+        return self.sites[name]
+
+    def _read_input(self, site_name: str, lfn: str) -> bytes:
+        """Read an input file at a site: canonical PFN first, then any RLS
+        replica registered at that site (the skipped-stage-in case)."""
+        site = self._site(site_name)
+        canonical = site.pfn_for(lfn)
+        if site.exists(canonical):
+            return site.get(canonical)
+        for replica in self.rls.lookup(lfn):
+            if replica.site == site_name and site.exists(replica.pfn):
+                return site.get(replica.pfn)
+        raise TransportError(f"input {lfn!r} not present at site {site_name!r}")
+
+    # -- node bodies (run on worker threads) -------------------------------------
+    def _run_compute(self, node: ComputeNode) -> None:
+        if self.gram is not None and self.credential is not None:
+            self.gram.submit(node.site, self.credential, time.time())
+        inputs = {lfn: self._read_input(node.site, lfn) for lfn in node.job.inputs}
+        fn = self.registry.get(node.job.transformation)
+        outputs = fn(node.job, inputs)
+        missing = set(node.job.outputs) - set(outputs)
+        if missing:
+            raise ExecutionError(
+                f"job {node.job.job_id!r} did not produce declared outputs {sorted(missing)}"
+            )
+        site = self._site(node.site)
+        for lfn, content in outputs.items():
+            site.put(site.pfn_for(lfn), content)
+
+    def _run_transfer(self, node: TransferNode) -> int:
+        source = self._site(node.source_site)
+        content = source.get(node.source_pfn)
+        self._site(node.dest_site).put(node.dest_pfn, content)
+        return len(content)
+
+    def _run_registration(self, node: RegistrationNode) -> None:
+        with self._rls_lock:
+            self.rls.register(node.lfn, node.pfn, node.site)
+
+    def _run_node(self, payload: object) -> int:
+        """Dispatch; returns bytes moved (transfers) or 0."""
+        if isinstance(payload, ComputeNode):
+            self._run_compute(payload)
+            return 0
+        if isinstance(payload, ClusteredComputeNode):
+            # seqexec semantics: members run sequentially in one task
+            for member in payload.members:
+                self._run_compute(member)
+            return 0
+        if isinstance(payload, TransferNode):
+            return self._run_transfer(payload)
+        if isinstance(payload, RegistrationNode):
+            self._run_registration(payload)
+            return 0
+        raise TypeError(f"unknown node payload {type(payload).__name__}")
+
+    # -- the driver loop -----------------------------------------------------------
+    def execute(
+        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+    ) -> ExecutionReport:
+        """Run the workflow to completion; never raises for job failures —
+        DAGMan semantics report them instead.  ``completed`` resumes from a
+        rescue DAG, skipping the nodes an earlier run finished."""
+        dagman = DagmanState(workflow.dag, max_retries=self.max_retries, completed=completed)
+        report = ExecutionReport()
+        t0 = time.perf_counter()
+        first_start: dict[str, float] = {}
+        in_flight: dict[Future, str] = {}
+        retries = 0
+
+        def now() -> float:
+            return time.perf_counter() - t0
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+
+            def launch_ready() -> None:
+                for node_id in dagman.ready_nodes():
+                    dagman.mark_running(node_id)
+                    first_start.setdefault(node_id, now())
+                    payload = workflow.dag.payload(node_id)
+                    future = pool.submit(self._run_node, payload)
+                    in_flight[future] = node_id
+
+            launch_ready()
+            while in_flight:
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    node_id = in_flight.pop(future)
+                    payload = workflow.dag.payload(node_id)
+                    exc = future.exception()
+                    if exc is None:
+                        dagman.mark_success(node_id)
+                        if isinstance(payload, TransferNode):
+                            key = payload.kind.value
+                            report.transfer_counts[key] = report.transfer_counts.get(key, 0) + 1
+                            report.bytes_moved += future.result()
+                        self._record_run(report, dagman, payload, node_id, first_start, now(), True, "")
+                    else:
+                        will_retry = dagman.mark_failure(node_id)
+                        self.events.emit(
+                            now(), "local-executor", "node-failed",
+                            node=node_id, error=str(exc), retry=will_retry,
+                        )
+                        if will_retry:
+                            retries += 1
+                        else:
+                            self._record_run(
+                                report, dagman, payload, node_id, first_start, now(), False, str(exc)
+                            )
+                launch_ready()
+
+        report.makespan = now()
+        report.succeeded = dagman.succeeded()
+        report.failed_nodes = tuple(dagman.failed_nodes())
+        report.unrunnable_nodes = tuple(
+            n for n, s in dagman.status.items() if s is NodeStatus.UNRUNNABLE
+        )
+        report.retries = retries
+        return report
+
+    def _record_run(
+        self,
+        report: ExecutionReport,
+        dagman: DagmanState,
+        payload: object,
+        node_id: str,
+        first_start: dict[str, float],
+        end: float,
+        success: bool,
+        detail: str,
+    ) -> None:
+        if isinstance(payload, ClusteredComputeNode):
+            kind, site = "compute", payload.site
+            for member in payload.members:
+                self.provenance.record(
+                    InvocationRecord(
+                        job_id=member.job.job_id,
+                        transformation=member.job.transformation,
+                        site=member.site,
+                        start_time=first_start[node_id],
+                        end_time=end,
+                        inputs=member.job.inputs,
+                        outputs=member.job.outputs,
+                        parameters=dict(member.job.parameters),
+                        success=success,
+                    )
+                )
+        elif isinstance(payload, ComputeNode):
+            kind, site = "compute", payload.site
+            self.provenance.record(
+                InvocationRecord(
+                    job_id=payload.job.job_id,
+                    transformation=payload.job.transformation,
+                    site=payload.site,
+                    start_time=first_start[node_id],
+                    end_time=end,
+                    inputs=payload.job.inputs,
+                    outputs=payload.job.outputs,
+                    parameters=dict(payload.job.parameters),
+                    success=success,
+                )
+            )
+        elif isinstance(payload, TransferNode):
+            kind, site = "transfer", payload.dest_site
+        else:
+            kind, site = "registration", payload.site  # type: ignore[union-attr]
+        report.runs.append(
+            NodeRun(
+                node_id=node_id,
+                kind=kind,
+                site=site,
+                start=first_start[node_id],
+                end=end,
+                attempts=dagman.attempts[node_id],
+                success=success,
+                detail=detail,
+            )
+        )

@@ -1,0 +1,104 @@
+"""MyProxy: the online credential repository of §4.3.1(5).
+
+"This prototype web service submits jobs onto the Grid using the
+credentials stored at the web server.  However, for a more general
+solution, we are planning to use MyProxy as a solution for authentication
+of users" (Novotny 2001).
+
+Users *store* a long-lived credential under a passphrase; services
+*retrieve* short-lived delegated proxies from it.  Delegation never
+outlives the stored credential, retrieval requires the passphrase, and
+expired credentials are refused — the properties the real MyProxy provides
+and the fault-injection tests exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+from repro.condor.gram import GridCredential
+from repro.core.errors import ExecutionError
+
+#: Default lifetime of a delegated proxy: 12 hours, MyProxy's default.
+DEFAULT_PROXY_LIFETIME_S = 12 * 3600.0
+
+
+def _digest(passphrase: str) -> str:
+    return hashlib.sha256(passphrase.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredCredential:
+    """A long-lived credential deposited with ``myproxy-init``."""
+
+    subject: str
+    passphrase_digest: str
+    issued_at: float
+    lifetime_s: float
+
+    def expires_at(self) -> float:
+        return self.issued_at + self.lifetime_s
+
+
+class MyProxyServer:
+    """The credential repository."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, StoredCredential] = {}
+        self._lock = threading.Lock()
+        self.delegations = 0
+
+    def store(
+        self,
+        subject: str,
+        passphrase: str,
+        now: float,
+        lifetime_s: float = 7 * 24 * 3600.0,
+    ) -> None:
+        """``myproxy-init``: deposit a credential for later delegation."""
+        if not passphrase:
+            raise ExecutionError("MyProxy requires a non-empty passphrase")
+        with self._lock:
+            self._store[subject] = StoredCredential(
+                subject=subject,
+                passphrase_digest=_digest(passphrase),
+                issued_at=now,
+                lifetime_s=lifetime_s,
+            )
+
+    def retrieve(
+        self,
+        subject: str,
+        passphrase: str,
+        now: float,
+        proxy_lifetime_s: float = DEFAULT_PROXY_LIFETIME_S,
+    ) -> GridCredential:
+        """``myproxy-logon``: delegate a short-lived proxy.
+
+        The delegated proxy never outlives the stored credential.
+        """
+        with self._lock:
+            stored = self._store.get(subject)
+        if stored is None:
+            raise ExecutionError(f"MyProxy holds no credential for {subject!r}")
+        if _digest(passphrase) != stored.passphrase_digest:
+            raise ExecutionError(f"MyProxy passphrase mismatch for {subject!r}")
+        if now >= stored.expires_at():
+            raise ExecutionError(f"stored credential for {subject!r} has expired")
+        lifetime = min(proxy_lifetime_s, stored.expires_at() - now)
+        with self._lock:
+            self.delegations += 1
+        return GridCredential(subject=subject, issued_at=now, lifetime_s=lifetime)
+
+    def destroy(self, subject: str) -> None:
+        """``myproxy-destroy``: remove a stored credential."""
+        with self._lock:
+            if subject not in self._store:
+                raise ExecutionError(f"MyProxy holds no credential for {subject!r}")
+            del self._store[subject]
+
+    def holds(self, subject: str) -> bool:
+        with self._lock:
+            return subject in self._store

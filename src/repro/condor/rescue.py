@@ -1,0 +1,32 @@
+"""Rescue DAGs: DAGMan's resume-after-failure artifact.
+
+When nodes fail permanently, DAGMan writes a rescue DAG marking completed
+nodes DONE so a later submission re-runs only the remainder.  We reproduce
+that file format and the corresponding programmatic resume path used by the
+fault-tolerance benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.condor.report import ExecutionReport
+from repro.workflow.concrete import ConcreteWorkflow
+
+
+def rescue_dag_text(
+    workflow: ConcreteWorkflow,
+    report: ExecutionReport,
+    dag_name: str = "workflow",
+) -> str:
+    """Render the rescue DAG for a partially failed run."""
+    done = {run.node_id for run in report.runs if run.success}
+    lines = [f"# Rescue DAG for {dag_name}"]
+    for node_id in workflow.dag.topological_order():
+        lines.append(f"JOB {node_id} {node_id}.sub" + (" DONE" if node_id in done else ""))
+    for parent, child in sorted(workflow.dag.edges()):
+        lines.append(f"PARENT {parent} CHILD {child}")
+    return "\n".join(lines) + "\n"
+
+
+def completed_nodes(report: ExecutionReport) -> set[str]:
+    """Node ids a rescue submission would skip."""
+    return {run.node_id for run in report.runs if run.success}

@@ -1,0 +1,254 @@
+"""Discrete-event Grid simulator: Condor-G/DAGMan over the pool topology.
+
+Executes a :class:`~repro.workflow.concrete.ConcreteWorkflow` in virtual
+time.  Compute nodes occupy pool slots and take
+``base_runtime(transformation) / pool.speed`` (log-normal jitter); transfer
+nodes take the GridFTP latency+bandwidth time of the topology; failure
+injection happens per attempt at the pool's ``failure_rate``.  DAGMan
+semantics (release, retry, rescue) come from :class:`DagmanState`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.condor.dagman import DagmanState, NodeStatus
+from repro.condor.pool import GridTopology
+from repro.condor.report import ExecutionReport, NodeRun
+from repro.utils.events import EventLog
+from repro.utils.rng import derive_rng
+from repro.workflow.concrete import (
+    ClusteredComputeNode,
+    ComputeNode,
+    ConcreteWorkflow,
+    RegistrationNode,
+    TransferNode,
+)
+
+#: Default base runtimes (seconds on a speed-1.0 pool) per transformation.
+DEFAULT_RUNTIMES: dict[str, float] = {
+    "galMorph": 12.0,
+    "concatVOTable": 5.0,
+}
+DEFAULT_RUNTIME_FALLBACK = 10.0
+REGISTRATION_TIME_S = 0.05
+
+
+@dataclass
+class SimulationOptions:
+    """Simulator knobs."""
+
+    seed: int = 2003
+    max_retries: int = 2
+    runtimes: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RUNTIMES))
+    runtime_jitter: float = 0.15  # log-normal sigma; 0 disables jitter
+    #: Node ids forced to fail on their first N attempts (deterministic tests).
+    forced_failures: dict[str, int] = field(default_factory=dict)
+    #: Fallback size for transfers whose plan-time size is 0.
+    default_file_size: int = 20160
+    #: Per-submitted-job scheduling overhead (Condor-G match + launch).
+    #: Clustering amortises exactly this cost.
+    job_overhead_s: float = 0.0
+
+
+class GridSimulator:
+    """Runs concrete workflows in virtual time over a :class:`GridTopology`."""
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        options: SimulationOptions | None = None,
+        size_lookup: Callable[[str], int] | None = None,
+        event_log: EventLog | None = None,
+        mds: "MonitoringService | None" = None,
+    ) -> None:
+        self.topology = topology
+        self.options = options if options is not None else SimulationOptions()
+        self.size_lookup = size_lookup
+        self.events = event_log if event_log is not None else EventLog()
+        #: when set, the simulator publishes live pool load into the MDS
+        self.mds = mds
+
+    # -- duration / failure models ------------------------------------------------
+    def _compute_duration(self, node: ComputeNode, rng: np.random.Generator) -> float:
+        base = self.options.runtimes.get(node.transformation, DEFAULT_RUNTIME_FALLBACK)
+        pool = self.topology.pools.get(node.site)
+        speed = pool.speed if pool is not None else 1.0
+        jitter = (
+            float(rng.lognormal(0.0, self.options.runtime_jitter))
+            if self.options.runtime_jitter > 0
+            else 1.0
+        )
+        return base / speed * jitter
+
+    def _transfer_size(self, node: TransferNode) -> int:
+        if node.size_bytes > 0:
+            return node.size_bytes
+        if self.size_lookup is not None:
+            size = self.size_lookup(node.lfn)
+            if size > 0:
+                return size
+        return self.options.default_file_size
+
+    def _duration(self, payload: object, rng: np.random.Generator) -> float:
+        if isinstance(payload, ComputeNode):
+            return self.options.job_overhead_s + self._compute_duration(payload, rng)
+        if isinstance(payload, ClusteredComputeNode):
+            # one scheduling overhead for the bundle, members sequential
+            return self.options.job_overhead_s + sum(
+                self._compute_duration(member, rng) for member in payload.members
+            )
+        if isinstance(payload, TransferNode):
+            return self.topology.transfer_time(
+                payload.source_site, payload.dest_site, self._transfer_size(payload)
+            )
+        if isinstance(payload, RegistrationNode):
+            return REGISTRATION_TIME_S
+        raise TypeError(f"unknown node payload {type(payload).__name__}")
+
+    def _attempt_fails(self, node_id: str, payload: object, attempt: int, rng: np.random.Generator) -> bool:
+        forced = self.options.forced_failures.get(node_id, 0)
+        if attempt <= forced:
+            return True
+        if isinstance(payload, ComputeNode):
+            pool = self.topology.pools.get(payload.site)
+            if pool is not None and pool.failure_rate > 0:
+                return bool(rng.random() < pool.failure_rate)
+        if isinstance(payload, ClusteredComputeNode):
+            pool = self.topology.pools.get(payload.site)
+            if pool is not None and pool.failure_rate > 0:
+                # the bundle fails if any member does
+                survive = (1.0 - pool.failure_rate) ** len(payload.members)
+                return bool(rng.random() > survive)
+        return False
+
+    # -- the event loop ---------------------------------------------------------------
+    def execute(
+        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+    ) -> ExecutionReport:
+        """Simulate the workflow to completion (or stuck-failure) and report.
+
+        ``completed`` resumes from a rescue DAG: those nodes are skipped.
+        """
+        dagman = DagmanState(
+            workflow.dag, max_retries=self.options.max_retries, completed=completed
+        )
+        rng = derive_rng(self.options.seed, "simulator")
+
+        clock = 0.0
+        seq = itertools.count()
+        heap: list[tuple[float, int, str]] = []
+        slots_busy: dict[str, int] = {name: 0 for name in self.topology.pools}
+        first_start: dict[str, float] = {}
+        retries = 0
+        report = ExecutionReport()
+
+        def publish_load(site: str) -> None:
+            if self.mds is None:
+                return
+            from repro.condor.mds import ResourceRecord
+
+            pool = self.topology.pools[site]
+            self.mds.publish(
+                ResourceRecord(
+                    site=site,
+                    total_slots=pool.slots,
+                    busy_slots=slots_busy[site],
+                    cpu_speed=pool.speed,
+                    timestamp=clock,
+                )
+            )
+
+        def site_of(payload: object) -> str:
+            if isinstance(payload, (ComputeNode, ClusteredComputeNode)):
+                return payload.site
+            if isinstance(payload, TransferNode):
+                return payload.dest_site
+            if isinstance(payload, RegistrationNode):
+                return payload.site
+            raise TypeError(type(payload).__name__)
+
+        def try_start(node_id: str) -> bool:
+            payload = workflow.dag.payload(node_id)
+            if isinstance(payload, (ComputeNode, ClusteredComputeNode)) and payload.site in slots_busy:
+                pool = self.topology.pool(payload.site)
+                if slots_busy[payload.site] >= pool.slots:
+                    return False
+                slots_busy[payload.site] += 1
+                publish_load(payload.site)
+            dagman.mark_running(node_id)
+            first_start.setdefault(node_id, clock)
+            duration = self._duration(payload, rng)
+            heapq.heappush(heap, (clock + duration, next(seq), node_id))
+            return True
+
+        def start_all_ready() -> None:
+            for node_id in dagman.ready_nodes():
+                try_start(node_id)
+
+        start_all_ready()
+        while heap:
+            clock, _, node_id = heapq.heappop(heap)
+            payload = workflow.dag.payload(node_id)
+            if isinstance(payload, (ComputeNode, ClusteredComputeNode)) and payload.site in slots_busy:
+                slots_busy[payload.site] -= 1
+                publish_load(payload.site)
+
+            attempt = dagman.attempts[node_id]
+            if self._attempt_fails(node_id, payload, attempt, rng):
+                will_retry = dagman.mark_failure(node_id)
+                self.events.emit(clock, "simulator", "node-failed", node=node_id, attempt=attempt, retry=will_retry)
+                if will_retry:
+                    retries += 1
+                else:
+                    report.runs.append(
+                        NodeRun(
+                            node_id=node_id,
+                            kind=_kind(payload),
+                            site=site_of(payload),
+                            start=first_start[node_id],
+                            end=clock,
+                            attempts=attempt,
+                            success=False,
+                        )
+                    )
+            else:
+                dagman.mark_success(node_id)
+                report.runs.append(
+                    NodeRun(
+                        node_id=node_id,
+                        kind=_kind(payload),
+                        site=site_of(payload),
+                        start=first_start[node_id],
+                        end=clock,
+                        attempts=attempt,
+                        success=True,
+                    )
+                )
+                if isinstance(payload, TransferNode):
+                    key = payload.kind.value
+                    report.transfer_counts[key] = report.transfer_counts.get(key, 0) + 1
+                    report.bytes_moved += self._transfer_size(payload)
+            start_all_ready()
+
+        report.makespan = clock
+        report.succeeded = dagman.succeeded()
+        report.failed_nodes = tuple(dagman.failed_nodes())
+        report.unrunnable_nodes = tuple(
+            n for n, s in dagman.status.items() if s is NodeStatus.UNRUNNABLE
+        )
+        report.retries = retries
+        return report
+
+
+def _kind(payload: object) -> str:
+    if isinstance(payload, (ComputeNode, ClusteredComputeNode)):
+        return "compute"
+    if isinstance(payload, TransferNode):
+        return "transfer"
+    return "registration"

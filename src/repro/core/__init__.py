@@ -1,0 +1,46 @@
+"""Core: the GriPhyN Virtual Data System facade and shared infrastructure.
+
+The paper's primary contribution is the *integration*: Chimera (virtual
+data language + abstract workflow composition) and Pegasus (planning,
+reduction, concretization) over RLS / Transformation Catalog / DAGMan,
+exposed to astronomers through a portal.  :class:`repro.core.vds.
+VirtualDataSystem` is that integration as a library object; the portal and
+web service of :mod:`repro.portal` drive it exactly as Figures 2, 5 and 6
+describe.
+"""
+
+from repro.core.errors import (
+    ExecutionError,
+    InfeasibleWorkflowError,
+    PlanningError,
+    ReproError,
+    ServiceError,
+    TransportError,
+    VDLSyntaxError,
+    WorkflowError,
+)
+from repro.core.provenance import InvocationRecord, ProvenanceStore
+
+
+def __getattr__(name: str):
+    # VirtualDataSystem pulls in every subsystem; import it lazily so that
+    # subsystem modules can depend on repro.core.errors without a cycle.
+    if name == "VirtualDataSystem":
+        from repro.core.vds import VirtualDataSystem
+
+        return VirtualDataSystem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ReproError",
+    "VDLSyntaxError",
+    "WorkflowError",
+    "PlanningError",
+    "InfeasibleWorkflowError",
+    "ExecutionError",
+    "ServiceError",
+    "TransportError",
+    "InvocationRecord",
+    "ProvenanceStore",
+    "VirtualDataSystem",
+]

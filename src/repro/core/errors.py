@@ -1,0 +1,44 @@
+"""Exception hierarchy for the reproduction.
+
+Every failure mode a caller may want to handle distinctly gets its own
+class; all inherit :class:`ReproError` so library consumers can catch the
+whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class VDLSyntaxError(ReproError):
+    """Malformed Virtual Data Language input (Chimera front-end)."""
+
+
+class WorkflowError(ReproError):
+    """Structural workflow problem: cycles, unknown nodes, bad edges."""
+
+
+class PlanningError(ReproError):
+    """Pegasus could not map the abstract workflow onto the Grid."""
+
+
+class InfeasibleWorkflowError(PlanningError):
+    """Root input files of the workflow are not present anywhere in the RLS.
+
+    Mirrors §3.2: "The workflow can only be executed if the input files for
+    these components can be found to exist somewhere in the Grid."
+    """
+
+
+class ExecutionError(ReproError):
+    """DAGMan/Condor-G execution failed beyond recovery (no rescue)."""
+
+
+class ServiceError(ReproError):
+    """An NVO service (cone search, SIA, compute service) rejected a call."""
+
+
+class TransportError(ReproError):
+    """Data movement failure (fetch of a URL, stage-in/out of a file)."""

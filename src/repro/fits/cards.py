@@ -1,0 +1,152 @@
+"""FITS header cards: fixed 80-character keyword records.
+
+A card is ``KEYWORD = value / comment`` padded to 80 columns.  This module
+implements the fixed-format value conventions of the FITS standard v3:
+
+* logical values: ``T`` / ``F`` in column 30;
+* integers and floats: right-justified ending at column 30;
+* strings: single-quoted starting at column 11, embedded quotes doubled;
+* commentary keywords ``COMMENT`` / ``HISTORY`` / blank, which carry no
+  value indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+CARD_LENGTH = 80
+
+#: Value types representable in a card.
+CardValue = Union[bool, int, float, str, None]
+
+_COMMENTARY = ("COMMENT", "HISTORY", "")
+
+
+@dataclass(frozen=True)
+class Card:
+    """One FITS header card.
+
+    ``value is None`` with a commentary keyword stores the text in
+    ``comment``; for value keywords a ``None`` value means the keyword is
+    present with an undefined value (allowed by the standard).
+    """
+
+    keyword: str
+    value: CardValue = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        kw = self.keyword
+        if len(kw) > 8:
+            raise ValueError(f"FITS keyword too long (max 8 chars): {kw!r}")
+        if kw != kw.upper().strip() and kw != "":
+            raise ValueError(f"FITS keyword must be upper-case, stripped: {kw!r}")
+        for ch in kw:
+            if not (ch.isalnum() or ch in "-_"):
+                raise ValueError(f"invalid character {ch!r} in keyword {kw!r}")
+
+    @property
+    def is_commentary(self) -> bool:
+        return self.keyword in _COMMENTARY
+
+
+def _format_value(value: CardValue) -> str:
+    """Render the fixed-format value field (columns 11+)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return f"{'T' if value else 'F':>20s}"
+    if isinstance(value, int):
+        return f"{value:>20d}"
+    if isinstance(value, float):
+        text = f"{value:.14G}"
+        # The standard requires a decimal point or exponent so the value
+        # re-parses as a float, not an int.
+        if "." not in text and "E" not in text and "N" not in text and "F" not in text:
+            text += "."
+        return f"{text:>20s}"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        body = f"'{escaped:<8s}'"  # min 8 chars inside quotes per standard
+        return body
+    raise TypeError(f"unsupported card value type: {type(value).__name__}")
+
+
+def format_card(card: Card) -> str:
+    """Serialise a :class:`Card` to its 80-character record."""
+    if card.is_commentary:
+        text = f"{card.keyword:<8s}{card.comment}"
+        if len(text) > CARD_LENGTH:
+            raise ValueError(f"commentary card too long: {text!r}")
+        return f"{text:<{CARD_LENGTH}s}"
+
+    image = f"{card.keyword:<8s}= {_format_value(card.value)}"
+    if card.comment:
+        image += f" / {card.comment}"
+    if len(image) > CARD_LENGTH:
+        raise ValueError(f"card too long ({len(image)} > {CARD_LENGTH}): {image!r}")
+    return f"{image:<{CARD_LENGTH}s}"
+
+
+def _parse_value(field: str) -> tuple[CardValue, str]:
+    """Parse the value + optional comment portion of a value card."""
+    field = field.strip()
+    if not field:
+        return None, ""
+    if field.startswith("'"):
+        # Scan for the closing quote, honouring doubled quotes.
+        i = 1
+        chars: list[str] = []
+        while i < len(field):
+            if field[i] == "'":
+                if i + 1 < len(field) and field[i + 1] == "'":
+                    chars.append("'")
+                    i += 2
+                    continue
+                break
+            chars.append(field[i])
+            i += 1
+        else:
+            raise ValueError(f"unterminated string in card value: {field!r}")
+        rest = field[i + 1 :].lstrip()
+        comment = rest[1:].strip() if rest.startswith("/") else ""
+        # Trailing blanks inside the quotes are not significant.
+        return "".join(chars).rstrip(), comment
+
+    value_part, _, comment = field.partition("/")
+    token = value_part.strip()
+    comment = comment.strip()
+    if token == "T":
+        return True, comment
+    if token == "F":
+        return False, comment
+    if token == "":
+        return None, comment
+    try:
+        return int(token), comment
+    except ValueError:
+        pass
+    try:
+        return float(token), comment
+    except ValueError as exc:
+        raise ValueError(f"unparseable card value: {token!r}") from exc
+
+
+def parse_card(record: str) -> Card:
+    """Parse one 80-character record into a :class:`Card`.
+
+    Records shorter than 80 characters are accepted (treated as
+    space-padded) so that hand-written headers in tests stay readable.
+    """
+    if len(record) > CARD_LENGTH:
+        raise ValueError(f"record longer than {CARD_LENGTH} characters")
+    record = record.ljust(CARD_LENGTH)
+    keyword = record[:8].rstrip()
+    if keyword in _COMMENTARY:
+        return Card(keyword=keyword, comment=record[8:].rstrip())
+    if record[8:10] != "= ":
+        # Keyword with no value indicator: treat as commentary-style.
+        return Card(keyword=keyword, comment=record[8:].rstrip())
+    value, comment = _parse_value(record[10:])
+    return Card(keyword=keyword, value=value, comment=comment)

@@ -1,0 +1,39 @@
+"""Galaxy morphology measurement — the paper's science payload.
+
+§2 defines the three parameters computed per galaxy image (Conselice 2003):
+
+* **Average Surface Brightness** — detected light per unit area;
+* **Concentration Index** — distinguishes uniform-brightness galaxies from
+  core-dominated ones (``C = 5 log10(r80 / r20)``);
+* **Asymmetry Index** — distinguishes spirals (asymmetric) from ellipticals
+  (symmetric) via the 180-degree rotational residual.
+
+:func:`repro.morphology.pipeline.galmorph` is the executable body of the
+``galMorph`` VDL transformation: it takes exactly the arguments of the
+paper's ``TR galMorph(in redshift, in pixScale, in zeroPoint, in Ho, in om,
+in flat, in image, out galMorph)`` and returns the measured parameters plus
+the validity flag of §4.3.1(4).
+"""
+
+from repro.morphology.background import estimate_background
+from repro.morphology.measures import (
+    asymmetry_index,
+    average_surface_brightness,
+    concentration_index,
+    curve_of_growth_radii,
+)
+from repro.morphology.petrosian import petrosian_radius
+from repro.morphology.pipeline import MorphologyResult, galmorph
+from repro.morphology.segmentation import central_source_mask
+
+__all__ = [
+    "estimate_background",
+    "asymmetry_index",
+    "average_surface_brightness",
+    "concentration_index",
+    "curve_of_growth_radii",
+    "petrosian_radius",
+    "MorphologyResult",
+    "galmorph",
+    "central_source_mask",
+]

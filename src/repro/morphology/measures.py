@@ -1,0 +1,145 @@
+"""The three morphology parameters of §2 (Conselice 2003).
+
+All functions take background-subtracted images and are fully vectorised;
+the asymmetry minimisation is a small local search over sub-pixel centre
+shifts implemented with ``scipy.ndimage.shift``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def _aperture_flux(image: np.ndarray, center: tuple[float, float], radius: float) -> float:
+    """Total flux inside a circular aperture (pixel-centre membership)."""
+    cy, cx = center
+    yy, xx = np.indices(image.shape, dtype=float)
+    mask = np.hypot(yy - cy, xx - cx) <= radius
+    return float(image[mask].sum())
+
+
+def curve_of_growth_radii(
+    image: np.ndarray,
+    center: tuple[float, float],
+    total_radius: float,
+    fractions: tuple[float, ...] = (0.2, 0.8),
+) -> tuple[float, ...]:
+    """Radii enclosing the given fractions of the flux inside ``total_radius``.
+
+    Computed from the exact pixel curve of growth (sorted radii + cumulative
+    sum) so no radial binning error enters the concentration index.
+    """
+    cy, cx = center
+    yy, xx = np.indices(image.shape, dtype=float)
+    r = np.hypot(yy - cy, xx - cx).ravel()
+    flux = np.asarray(image, dtype=float).ravel()
+    inside = r <= total_radius
+    r, flux = r[inside], flux[inside]
+    order = np.argsort(r)
+    r_sorted = r[order]
+    cumulative = np.cumsum(flux[order])
+    total = cumulative[-1] if cumulative.size else 0.0
+    if total <= 0:
+        raise ValueError("non-positive total flux inside the measurement aperture")
+    out = []
+    for fraction in fractions:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"flux fraction must be in (0, 1): {fraction}")
+        i = int(np.searchsorted(cumulative, fraction * total))
+        out.append(float(r_sorted[min(i, r_sorted.size - 1)]))
+    return tuple(out)
+
+
+def concentration_index(
+    image: np.ndarray,
+    center: tuple[float, float],
+    total_radius: float,
+) -> float:
+    """Conselice concentration ``C = 5 log10(r80 / r20)``.
+
+    High C (~4-5): core-dominated de Vaucouleurs ellipticals.
+    Low C (~2-3): uniform-brightness exponential disks.
+    """
+    r20, r80 = curve_of_growth_radii(image, center, total_radius, (0.2, 0.8))
+    r20 = max(r20, 0.5)  # guard: r20 inside the central pixel
+    if r80 <= 0:
+        raise ValueError("r80 is non-positive; source is unresolved")
+    return float(5.0 * np.log10(r80 / r20))
+
+
+def asymmetry_index(
+    image: np.ndarray,
+    center: tuple[float, float],
+    radius: float,
+    background_sigma: float = 0.0,
+    optimize_center: bool = True,
+) -> float:
+    """Rotational asymmetry ``A = min_c sum|I - I_180| / (2 sum|I|) - A_bg``.
+
+    The 180-degree rotation is about ``center``; when ``optimize_center`` is
+    set, a 3x3 grid of half-pixel centre shifts is searched and the minimum
+    taken, per Conselice's prescription (asymmetry is defined at the centre
+    that minimises it).  ``background_sigma`` subtracts the noise floor:
+    for pure Gaussian noise the expected |I - I_180| residual is
+    ``2 sigma / sqrt(pi)`` per pixel.
+
+    Spirals land at A >~ 0.1, ellipticals near 0.
+    """
+    image = np.asarray(image, dtype=float)
+    cy, cx = center
+    yy, xx = np.indices(image.shape, dtype=float)
+
+    def asymmetry_at(oy: float, ox: float) -> float:
+        # Rotate by shifting the centre onto the array centre, flipping, and
+        # comparing within the aperture.
+        ay, ax = cy + oy, cx + ox
+        shift_y = (image.shape[0] - 1) / 2.0 - ay
+        shift_x = (image.shape[1] - 1) / 2.0 - ax
+        centred = ndimage.shift(image, (shift_y, shift_x), order=1, mode="nearest")
+        rotated = centred[::-1, ::-1]
+        aperture = np.hypot(yy - (image.shape[0] - 1) / 2.0, xx - (image.shape[1] - 1) / 2.0) <= radius
+        denom = 2.0 * np.abs(centred[aperture]).sum()
+        if denom <= 0:
+            return np.inf
+        residual = np.abs(centred[aperture] - rotated[aperture]).sum()
+        return float(residual / denom)
+
+    offsets = [0.0] if not optimize_center else [-0.5, 0.0, 0.5]
+    best = min(asymmetry_at(oy, ox) for oy in offsets for ox in offsets)
+    if not np.isfinite(best):
+        raise ValueError("asymmetry undefined: no flux inside the aperture")
+
+    if background_sigma > 0.0:
+        # Expected noise contribution: per-pixel E|n1 - n2| = 2 sigma/sqrt(pi);
+        # normalised by the same flux denominator.
+        aperture = np.hypot(yy - cy, xx - cx) <= radius
+        denom = 2.0 * np.abs(image[aperture]).sum()
+        if denom > 0:
+            noise_term = aperture.sum() * 2.0 * background_sigma / np.sqrt(np.pi) / denom
+            best = best - noise_term
+    return float(max(best, 0.0))
+
+
+def average_surface_brightness(
+    image: np.ndarray,
+    center: tuple[float, float],
+    radius: float,
+    pixel_scale_arcsec: float,
+    zero_point: float = 0.0,
+) -> float:
+    """Mean surface brightness inside ``radius``, mag / arcsec^2.
+
+    ``mu = zero_point - 2.5 log10( flux / area_arcsec2 )`` — the "measure of
+    the total amount of detected light (per area)" of §2.
+    """
+    if pixel_scale_arcsec <= 0:
+        raise ValueError(f"pixel scale must be positive: {pixel_scale_arcsec}")
+    flux = _aperture_flux(image, center, radius)
+    if flux <= 0:
+        raise ValueError("non-positive aperture flux; cannot form a magnitude")
+    cy, cx = center
+    yy, xx = np.indices(image.shape, dtype=float)
+    n_pix = int((np.hypot(yy - cy, xx - cx) <= radius).sum())
+    area_arcsec2 = n_pix * pixel_scale_arcsec**2
+    return float(zero_point - 2.5 * np.log10(flux / area_arcsec2))

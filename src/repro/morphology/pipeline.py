@@ -1,0 +1,112 @@
+"""The galMorph job: FITS cutout in, morphology parameters out.
+
+This is the executable behind the paper's VDL transformation::
+
+    TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om,
+                 in flat, in image, out galMorph )
+
+and its per-galaxy derivations.  Failures ("the computation ... would fail
+because of the bad quality of galaxy images or some other reasons",
+§4.3.1(4)) are captured in the ``valid`` flag instead of propagating, so a
+few bad images never take down a whole cluster run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.catalog.cosmology import FlatLambdaCDM
+from repro.fits.hdu import ImageHDU
+from repro.morphology.background import estimate_background
+from repro.morphology.measures import (
+    asymmetry_index,
+    average_surface_brightness,
+    concentration_index,
+)
+from repro.morphology.petrosian import petrosian_radius
+from repro.morphology.segmentation import central_source_mask, source_centroid
+
+
+@dataclass(frozen=True)
+class MorphologyResult:
+    """Per-galaxy output record, mirroring the paper's output VOTable row."""
+
+    galaxy_id: str
+    valid: bool
+    surface_brightness: float = float("nan")
+    concentration: float = float("nan")
+    asymmetry: float = float("nan")
+    petrosian_radius_arcsec: float = float("nan")
+    petrosian_radius_kpc: float = float("nan")
+    error: str = ""
+
+    def as_row(self) -> dict[str, object]:
+        """Row dict for a results VOTable (NaNs become nulls)."""
+        row = asdict(self)
+
+        def clean(v: object) -> object:
+            if isinstance(v, float) and not np.isfinite(v):
+                return None
+            return v
+
+        return {k: clean(v) for k, v in row.items()}
+
+
+def galmorph(
+    image: ImageHDU,
+    redshift: float,
+    pix_scale: float,
+    zero_point: float = 0.0,
+    ho: float = 100.0,
+    om: float = 0.3,
+    flat: bool = True,
+    galaxy_id: str | None = None,
+) -> MorphologyResult:
+    """Measure the three §2 morphology parameters of one galaxy cutout.
+
+    Parameters mirror the VDL transformation: ``pix_scale`` is in
+    degrees/pixel (the paper's derivation passes ``2.83e-4``), cosmology is
+    (``ho``, ``om``, ``flat``).  Never raises for data-quality problems —
+    returns ``valid=False`` with the failure reason instead.
+    """
+    if not flat:
+        raise NotImplementedError("only flat cosmologies are supported, as in the paper")
+    gid = galaxy_id if galaxy_id is not None else str(image.header.get("OBJECT", "unknown"))
+    if image.data is None:
+        return MorphologyResult(gid, valid=False, error="image HDU carries no data")
+    try:
+        data = np.asarray(image.data, dtype=float)
+        background = estimate_background(data)
+        subtracted = data - background.level
+        mask = central_source_mask(data, background)
+        if not mask.any():
+            return MorphologyResult(gid, valid=False, error="no significant central source")
+        center = source_centroid(subtracted, mask)
+        r_p = petrosian_radius(subtracted, center)
+        measure_radius = min(1.5 * r_p, min(data.shape) / 2.0 - 1.0)
+        if measure_radius <= 1.0:
+            return MorphologyResult(gid, valid=False, error="source unresolved at this pixel scale")
+
+        pixel_scale_arcsec = abs(pix_scale) * 3600.0
+        mu = average_surface_brightness(
+            subtracted, center, measure_radius, pixel_scale_arcsec, zero_point=zero_point
+        )
+        c = concentration_index(subtracted, center, measure_radius)
+        a = asymmetry_index(subtracted, center, measure_radius, background_sigma=background.sigma)
+
+        cosmo = FlatLambdaCDM(h0=ho, omega_m=om)
+        r_p_arcsec = r_p * pixel_scale_arcsec
+        r_p_kpc = r_p_arcsec * cosmo.kpc_per_arcsec(max(redshift, 0.0)) if redshift > 0 else float("nan")
+        return MorphologyResult(
+            galaxy_id=gid,
+            valid=True,
+            surface_brightness=mu,
+            concentration=c,
+            asymmetry=a,
+            petrosian_radius_arcsec=r_p_arcsec,
+            petrosian_radius_kpc=r_p_kpc,
+        )
+    except (ValueError, FloatingPointError) as exc:
+        return MorphologyResult(gid, valid=False, error=str(exc))

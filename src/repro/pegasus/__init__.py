@@ -1,0 +1,41 @@
+"""Pegasus: Planning for Execution in Grids.
+
+"Pegasus can map an abstract workflow onto the available Grid resources ...
+receives an abstract workflow description from Chimera, produces a concrete
+workflow, and submits it to Condor-G/DAGMan for execution" (§3.2).  The
+numbered pipeline of Figure 2 maps onto this package as:
+
+* Request Manager / orchestration — :mod:`repro.pegasus.planner`
+* (5)->(6) Abstract DAG Reduction — :mod:`repro.pegasus.reduction`
+* (3)/(4) RLS queries, (7)/(8) TC queries, feasibility check, site and
+  replica selection, transfer/registration node insertion —
+  :mod:`repro.pegasus.concretizer` and :mod:`repro.pegasus.site_selector`
+* (11) Submit File Generator — :mod:`repro.pegasus.submit`
+"""
+
+from repro.pegasus.clustering import cluster_workflow
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner, PlanResult
+from repro.pegasus.reduction import reduce_workflow
+from repro.pegasus.site_selector import (
+    LeastLoadedSiteSelector,
+    RandomSiteSelector,
+    RoundRobinSiteSelector,
+    SiteSelector,
+    make_site_selector,
+)
+from repro.pegasus.submit import generate_submit_files
+
+__all__ = [
+    "cluster_workflow",
+    "PlannerOptions",
+    "PegasusPlanner",
+    "PlanResult",
+    "reduce_workflow",
+    "SiteSelector",
+    "RandomSiteSelector",
+    "RoundRobinSiteSelector",
+    "LeastLoadedSiteSelector",
+    "make_site_selector",
+    "generate_submit_files",
+]

@@ -1,0 +1,291 @@
+"""Concrete Workflow Generator: map the reduced DAG onto Grid resources.
+
+Responsibilities, following §3.2 and Figure 4:
+
+* **feasibility check** — "It determines the root nodes for the abstract
+  workflow and queries the RLS for the existence of the input files";
+  absent inputs raise :class:`InfeasibleWorkflowError`;
+* **site selection** — Transformation Catalog lookup per job, then the
+  configured policy ("currently ... picks a random location");
+* **replica selection** — among RLS replicas of a stage-in file, prefer a
+  replica already at the execution site (no transfer needed), otherwise
+  pick per policy ("Pegasus currently picks the source location at
+  random");
+* **transfer node insertion** — stage-in nodes "so that each component and
+  its input files are at the same physical location", inter-site nodes
+  between producer and consumer jobs on different sites, and stage-out of
+  final products to the user-specified location U;
+* **registration node insertion** — "registers the newly created data
+  product in the RLS" when requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import InfeasibleWorkflowError, PlanningError
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.site_selector import SiteSelector
+from repro.rls.rls import Replica, ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.utils.ids import sequential_namer
+from repro.utils.rng import derive_rng
+from repro.workflow.abstract import AbstractWorkflow
+from repro.workflow.concrete import (
+    ComputeNode,
+    ConcreteWorkflow,
+    RegistrationNode,
+    TransferKind,
+    TransferNode,
+)
+
+#: Maps (site, lfn) -> physical file name at that site.
+PfnResolver = Callable[[str, str], str]
+#: Plan-time size estimate for a logical file (bytes); 0 when unknown.
+SizeEstimator = Callable[[str], int]
+
+
+def default_pfn_resolver(site: str, lfn: str) -> str:
+    return f"gsiftp://{site}.grid/data/{lfn}"
+
+
+def _zero_size(_: str) -> int:
+    return 0
+
+
+class Concretizer:
+    """Stateful single-workflow concretization pass."""
+
+    def __init__(
+        self,
+        rls: ReplicaLocationService,
+        tc: TransformationCatalog,
+        options: PlannerOptions,
+        site_selector: SiteSelector,
+        pfn_resolver: PfnResolver = default_pfn_resolver,
+        size_estimator: SizeEstimator = _zero_size,
+    ) -> None:
+        self.rls = rls
+        self.tc = tc
+        self.options = options
+        self.site_selector = site_selector
+        self.pfn = pfn_resolver
+        self.size_of = size_estimator
+        self._rng: np.random.Generator = derive_rng(options.seed, "replica-selector")
+        self._next_transfer = sequential_namer("xfer")
+        self._next_registration = sequential_namer("reg")
+
+    # -- replica selection ------------------------------------------------------
+    def _choose_replica(self, lfn: str, exec_site: str, replicas: list[Replica]) -> Replica | None:
+        """Replica to stage from; ``None`` means a copy already sits at the
+        execution site and no transfer is needed."""
+        local = [r for r in replicas if r.site == exec_site]
+        if local:
+            return None
+        if not replicas:
+            raise PlanningError(f"no replica of {lfn!r} anywhere in the Grid")
+        if self.options.replica_selection == "first":
+            return sorted(replicas, key=lambda r: (r.site, r.pfn))[0]
+        if self.options.replica_selection == "random":
+            return replicas[int(self._rng.integers(0, len(replicas)))]
+        raise PlanningError(f"unknown replica-selection policy {self.options.replica_selection!r}")
+
+    # -- feasibility -----------------------------------------------------------
+    def check_feasibility(self, workflow: AbstractWorkflow) -> None:
+        """Every raw input of the workflow must exist somewhere in the Grid."""
+        missing = sorted(lfn for lfn in workflow.required_inputs() if not self.rls.exists(lfn))
+        if missing:
+            raise InfeasibleWorkflowError(
+                f"workflow is infeasible; {len(missing)} input file(s) not found in the RLS: "
+                f"{missing[:5]}{'...' if len(missing) > 5 else ''}"
+            )
+
+    # -- main pass -----------------------------------------------------------------
+    def concretize(
+        self,
+        workflow: AbstractWorkflow,
+        requested_lfns: set[str] | None = None,
+        reused_lfns: set[str] | None = None,
+    ) -> ConcreteWorkflow:
+        """Build the concrete workflow for a (reduced) abstract workflow.
+
+        ``requested_lfns`` are the user-visible products (stage-out targets);
+        ``reused_lfns`` are files the reduction satisfied from the RLS —
+        requested ones among them still need delivery to the output site.
+        """
+        self.check_feasibility(workflow)
+        requested = set(requested_lfns) if requested_lfns is not None else workflow.final_products()
+        reused = set(reused_lfns or ())
+
+        cw = ConcreteWorkflow()
+        exec_site: dict[str, str] = {}  # job_id -> site
+        compute_id: dict[str, str] = {}  # job_id -> concrete node id
+        # (lfn, dest_site) -> transfer node id, for stage-in/inter-site dedup
+        transfers_done: dict[tuple[str, str], str] = {}
+
+        order = workflow.dag.topological_order()
+
+        for job_id in order:
+            job = workflow.job(job_id)
+            sites = self.tc.sites_providing(job.transformation)
+            site = self.site_selector.choose(job_id, sites)
+            entries = self.tc.query(job.transformation, site)
+            node = ComputeNode(
+                node_id=f"job-{job_id}",
+                job=job,
+                site=site,
+                executable=entries[0].path,
+            )
+            cw.add(node)
+            exec_site[job_id] = site
+            compute_id[job_id] = node.node_id
+
+            for lfn in job.inputs:
+                producer = workflow.producer_of(lfn)
+                if producer is not None:
+                    self._wire_intermediate(cw, transfers_done, workflow, lfn, producer, job_id, site, exec_site, compute_id)
+                else:
+                    self._wire_stage_in(cw, transfers_done, lfn, site, node.node_id)
+
+        # stage-out + registration for products of executed jobs
+        for job_id in order:
+            job = workflow.job(job_id)
+            site = exec_site[job_id]
+            for lfn in job.outputs:
+                self._wire_outputs(cw, job_id, lfn, site, compute_id, requested)
+
+        # delivery of requested products that the reduction satisfied from
+        # the RLS (Figure 6 step 2, when only part of the request was cached)
+        if self.options.output_site is not None:
+            for lfn in sorted(reused & requested):
+                self._wire_reused_delivery(cw, lfn)
+
+        cw.validate()
+        return cw
+
+    # -- wiring helpers ---------------------------------------------------------
+    def _wire_intermediate(
+        self,
+        cw: ConcreteWorkflow,
+        transfers_done: dict[tuple[str, str], str],
+        workflow: AbstractWorkflow,
+        lfn: str,
+        producer: str,
+        consumer: str,
+        consumer_site: str,
+        exec_site: dict[str, str],
+        compute_id: dict[str, str],
+    ) -> None:
+        """Producer and consumer in the same workflow: direct edge or an
+        inter-site transfer between their execution sites."""
+        producer_site = exec_site[producer]
+        if producer_site == consumer_site:
+            cw.link(compute_id[producer], compute_id[consumer])
+            return
+        key = (lfn, consumer_site)
+        if key not in transfers_done:
+            node = TransferNode(
+                node_id=self._next_transfer(),
+                lfn=lfn,
+                kind=TransferKind.INTER_SITE,
+                source_site=producer_site,
+                source_pfn=self.pfn(producer_site, lfn),
+                dest_site=consumer_site,
+                dest_pfn=self.pfn(consumer_site, lfn),
+                size_bytes=self.size_of(lfn),
+            )
+            cw.add(node)
+            cw.link(compute_id[producer], node.node_id)
+            transfers_done[key] = node.node_id
+        cw.link(transfers_done[key], compute_id[consumer])
+
+    def _wire_stage_in(
+        self,
+        cw: ConcreteWorkflow,
+        transfers_done: dict[tuple[str, str], str],
+        lfn: str,
+        site: str,
+        consumer_node: str,
+    ) -> None:
+        """Raw input: stage from a chosen replica unless already local."""
+        key = (lfn, site)
+        if key in transfers_done:
+            cw.link(transfers_done[key], consumer_node)
+            return
+        replicas = self.rls.lookup(lfn)
+        chosen = self._choose_replica(lfn, site, replicas)
+        if chosen is None:
+            return  # replica already at the execution site
+        node = TransferNode(
+            node_id=self._next_transfer(),
+            lfn=lfn,
+            kind=TransferKind.STAGE_IN,
+            source_site=chosen.site,
+            source_pfn=chosen.pfn,
+            dest_site=site,
+            dest_pfn=self.pfn(site, lfn),
+            size_bytes=self.size_of(lfn),
+        )
+        cw.add(node)
+        cw.link(node.node_id, consumer_node)
+        transfers_done[key] = node.node_id
+
+    def _wire_outputs(
+        self,
+        cw: ConcreteWorkflow,
+        job_id: str,
+        lfn: str,
+        site: str,
+        compute_id: dict[str, str],
+        requested: set[str],
+    ) -> None:
+        """Stage final products out to U; register everything new."""
+        source_node = compute_id[job_id]
+        final_site = site
+        if self.options.output_site is not None and lfn in requested and site != self.options.output_site:
+            out = TransferNode(
+                node_id=self._next_transfer(),
+                lfn=lfn,
+                kind=TransferKind.STAGE_OUT,
+                source_site=site,
+                source_pfn=self.pfn(site, lfn),
+                dest_site=self.options.output_site,
+                dest_pfn=self.pfn(self.options.output_site, lfn),
+                size_bytes=self.size_of(lfn),
+            )
+            cw.add(out)
+            cw.link(source_node, out.node_id)
+            source_node = out.node_id
+            final_site = self.options.output_site
+        if self.options.register_outputs:
+            reg = RegistrationNode(
+                node_id=self._next_registration(),
+                lfn=lfn,
+                pfn=self.pfn(final_site, lfn),
+                site=final_site,
+            )
+            cw.add(reg)
+            cw.link(source_node, reg.node_id)
+
+    def _wire_reused_delivery(self, cw: ConcreteWorkflow, lfn: str) -> None:
+        """A requested product already in the RLS: deliver it to U."""
+        output_site = self.options.output_site
+        assert output_site is not None
+        replicas = self.rls.lookup(lfn)
+        chosen = self._choose_replica(lfn, output_site, replicas)
+        if chosen is None:
+            return  # already at the output site: nothing to do
+        cw.add(
+            TransferNode(
+                node_id=self._next_transfer(),
+                lfn=lfn,
+                kind=TransferKind.STAGE_OUT,
+                source_site=chosen.site,
+                source_pfn=chosen.pfn,
+                dest_site=output_site,
+                dest_pfn=self.pfn(output_site, lfn),
+                size_bytes=self.size_of(lfn),
+            )
+        )

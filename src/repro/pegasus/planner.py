@@ -1,0 +1,141 @@
+"""The Pegasus planner: Request Manager orchestration of Figure 2.
+
+``PegasusPlanner.plan`` runs the numbered pipeline — (2) abstract DAG to the
+reduction, (3)/(4) logical-to-physical file resolution against the RLS,
+(5)->(6) reduction, (7)/(8) transformation resolution against the TC,
+(9)/(10) concrete DAG, (11) submit files — emitting one event per step so
+the Figure 2 benchmark can assert the exact message order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.pegasus.concretizer import Concretizer, PfnResolver, SizeEstimator, default_pfn_resolver, _zero_size
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.reduction import ReductionResult, reduce_workflow
+from repro.pegasus.site_selector import SiteSelector, make_site_selector
+from repro.pegasus.submit import SubmitFiles, generate_submit_files
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.utils.events import EventLog
+from repro.workflow.abstract import AbstractWorkflow
+from repro.workflow.concrete import ConcreteWorkflow
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Everything a planning run produced."""
+
+    abstract: AbstractWorkflow
+    reduction: ReductionResult
+    concrete: ConcreteWorkflow
+    submit: SubmitFiles
+
+    @property
+    def reduced(self) -> AbstractWorkflow:
+        return self.reduction.workflow
+
+
+class PegasusPlanner:
+    """Maps abstract workflows onto the Grid.
+
+    Construct once per Grid configuration (RLS + TC + site capacities) and
+    call :meth:`plan` per request; each call gets a fresh site selector so
+    policies with internal state (round-robin, least-loaded) start clean.
+    """
+
+    def __init__(
+        self,
+        rls: ReplicaLocationService,
+        tc: TransformationCatalog,
+        options: PlannerOptions | None = None,
+        site_capacities: dict[str, int] | None = None,
+        pfn_resolver: PfnResolver = default_pfn_resolver,
+        size_estimator: SizeEstimator = _zero_size,
+        event_log: EventLog | None = None,
+        site_selector_factory: Callable[[], SiteSelector] | None = None,
+    ) -> None:
+        self.rls = rls
+        self.tc = tc
+        self.options = options if options is not None else PlannerOptions()
+        self.site_capacities = dict(site_capacities or {})
+        self.pfn_resolver = pfn_resolver
+        self.size_estimator = size_estimator
+        self.events = event_log if event_log is not None else EventLog()
+        # Overrides the named policy of PlannerOptions — the hook the MDS
+        # selector plugs into ("dynamic information provided by Globus MDS").
+        self.site_selector_factory = site_selector_factory
+
+    def plan(
+        self,
+        workflow: AbstractWorkflow,
+        requested_lfns: Iterable[str] | None = None,
+    ) -> PlanResult:
+        """Run the full Figure 2 pipeline on one abstract workflow."""
+        emit = self.events.emit
+        requested = set(requested_lfns) if requested_lfns is not None else workflow.final_products()
+
+        emit(0.0, "pegasus", "abstract-workflow-received", jobs=len(workflow))
+        emit(0.0, "pegasus", "request-manager-dispatch", requested=sorted(requested))
+
+        # (3)/(4): resolve the workflow's logical file universe against the RLS.
+        lfns = sorted(workflow.required_inputs() | workflow.products())
+        replicas = self.rls.lookup_many(lfns)
+        emit(
+            0.0, "pegasus", "rls-resolution",
+            logical=len(lfns), physical=sum(len(v) for v in replicas.values()),
+        )
+
+        # (5) -> (6): abstract DAG reduction.
+        if self.options.enable_reduction:
+            reduction = reduce_workflow(workflow, self.rls, requested)
+        else:
+            reduction = ReductionResult(
+                workflow=workflow.copy(), pruned_jobs=(), reused_lfns=()
+            )
+        emit(
+            0.0, "pegasus", "dag-reduction",
+            before=len(workflow), after=len(reduction.workflow),
+            pruned=len(reduction.pruned_jobs), reused=len(reduction.reused_lfns),
+        )
+
+        # (7)/(8): transformation resolution against the TC.
+        transformations = sorted({j.transformation for j in reduction.workflow.jobs()})
+        resolved = {t: self.tc.sites_providing(t) for t in transformations}
+        emit(
+            0.0, "pegasus", "tc-resolution",
+            transformations=len(transformations),
+            installations=sum(len(v) for v in resolved.values()),
+        )
+
+        # (9)/(10): concrete workflow generation.
+        if self.site_selector_factory is not None:
+            selector = self.site_selector_factory()
+        else:
+            selector = make_site_selector(
+                self.options.site_selection,
+                seed=self.options.seed,
+                capacities=self.site_capacities or None,
+            )
+        concretizer = Concretizer(
+            rls=self.rls,
+            tc=self.tc,
+            options=self.options,
+            site_selector=selector,
+            pfn_resolver=self.pfn_resolver,
+            size_estimator=self.size_estimator,
+        )
+        concrete = concretizer.concretize(
+            reduction.workflow,
+            requested_lfns=requested,
+            reused_lfns=set(reduction.reused_lfns),
+        )
+        emit(0.0, "pegasus", "concrete-workflow", **concrete.stats())
+
+        # (11): submit files for Condor-G / DAGMan.
+        submit = generate_submit_files(concrete)
+        emit(0.0, "pegasus", "submit-files-generated", count=len(submit))
+
+        return PlanResult(abstract=workflow, reduction=reduction, concrete=concrete, submit=submit)

@@ -1,0 +1,102 @@
+"""Abstract DAG Reduction: Pegasus's virtual-data optimisation.
+
+"If data products described within the AW already exist, Pegasus reuses
+them and thus reduces the complexity of the CW ... the reduction component
+of Pegasus assumes that it is more costly to execute a component (a job)
+than to access the results of the component if that data is available"
+(§3.2, Figures 1 -> 3).
+
+The algorithm is a backward chase from the workflow's requested products:
+a logical file is *satisfied* if it has a replica in the RLS; otherwise its
+producing job is *needed*, and all that job's inputs must in turn be
+satisfied or produced.  Jobs never reached are pruned.  This correctly
+handles chains (materialised ``b`` prunes ``d1`` in the paper's example),
+diamonds, and partially materialised multi-output jobs (a job with *any*
+unsatisfied needed output must run).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.rls.rls import ReplicaLocationService
+from repro.workflow.abstract import AbstractWorkflow
+
+
+@dataclass(frozen=True)
+class ReductionResult:
+    """Outcome of the reduction pass.
+
+    Attributes
+    ----------
+    workflow:
+        The reduced abstract workflow (possibly empty when every requested
+        product already exists).
+    pruned_jobs:
+        Ids of jobs removed because their outputs were materialised.
+    reused_lfns:
+        Logical files satisfied from the RLS instead of recomputation —
+        these become stage-in candidates during concretization.
+    """
+
+    workflow: AbstractWorkflow
+    pruned_jobs: tuple[str, ...]
+    reused_lfns: tuple[str, ...]
+
+    @property
+    def fully_satisfied(self) -> bool:
+        """True when nothing needs to run at all."""
+        return len(self.workflow) == 0
+
+
+def reduce_workflow(
+    workflow: AbstractWorkflow,
+    rls: ReplicaLocationService,
+    requested_lfns: Iterable[str] | None = None,
+) -> ReductionResult:
+    """Prune jobs whose outputs are already materialised in the RLS.
+
+    ``requested_lfns`` defaults to the workflow's final products; files in
+    that set are *always* recomputed-or-fetched targets — if they exist in
+    the RLS their producing jobs are pruned and the files simply delivered.
+    """
+    requested = set(requested_lfns) if requested_lfns is not None else workflow.final_products()
+    unknown = requested - workflow.products()
+    if unknown:
+        raise ValueError(f"requested files not produced by this workflow: {sorted(unknown)}")
+
+    needed_jobs: set[str] = set()
+    reused: set[str] = set()
+    visited_lfns: set[str] = set()
+    frontier: deque[str] = deque(sorted(requested))
+
+    while frontier:
+        lfn = frontier.popleft()
+        if lfn in visited_lfns:
+            continue
+        visited_lfns.add(lfn)
+        if rls.exists(lfn):
+            # Satisfied from storage; do not chase its producer.  Raw inputs
+            # (no producer) are ordinary stage-ins, not "reuse".
+            if workflow.producer_of(lfn) is not None:
+                reused.add(lfn)
+            continue
+        producer = workflow.producer_of(lfn)
+        if producer is None:
+            # A raw workflow input that is absent from the RLS: reduction
+            # leaves it; the feasibility check will reject the plan.
+            continue
+        if producer in needed_jobs:
+            continue
+        needed_jobs.add(producer)
+        frontier.extend(workflow.job(producer).inputs)
+
+    kept = [job for job in workflow.jobs() if job.job_id in needed_jobs]
+    pruned = tuple(job.job_id for job in workflow.jobs() if job.job_id not in needed_jobs)
+    reduced = AbstractWorkflow()
+    # Preserve original (dependency-consistent) insertion order.
+    for job in kept:
+        reduced.add_job(job)
+    return ReductionResult(workflow=reduced, pruned_jobs=pruned, reused_lfns=tuple(sorted(reused)))

@@ -1,0 +1,78 @@
+"""Figure 7 as real data products: FITS layers + a DS9/Aladin region file.
+
+The paper loaded its results into Aladin; an astronomer reproducing that
+needs three artifacts on disk, all on a common optical pixel grid:
+
+* ``<cluster>-optical.fits`` — the wide-field optical mosaic;
+* ``<cluster>-xray.fits`` — the X-ray map *reprojected onto the optical
+  WCS* (red/blue overlay-ready);
+* ``<cluster>-galaxies.reg`` — the catalog layer, circles coloured by
+  asymmetry exactly as the Figure 7 caption describes.
+
+:func:`build_overlay` assembles them from a finished portal session;
+:func:`write_overlay` drops them into a directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.catalog.regions import CircleRegion, catalog_to_regions, write_region_file
+from repro.fits.hdu import ImageHDU
+from repro.fits.io import write_fits
+from repro.fits.wcs import TanWCS
+from repro.sky.cluster import ClusterModel
+from repro.sky.imaging import render_field_mosaic
+from repro.sky.reproject import reproject_tan
+from repro.sky.xray import render_xray_map
+from repro.votable.model import VOTable
+
+
+@dataclass(frozen=True)
+class OverlayProduct:
+    """The assembled Figure 7 layers."""
+
+    cluster: str
+    optical: ImageHDU
+    xray: ImageHDU  # on the optical grid
+    regions: tuple[CircleRegion, ...]
+
+    @property
+    def region_text(self) -> str:
+        return write_region_file(
+            list(self.regions),
+            comment=f"{self.cluster}: galaxy morphologies, color = asymmetry index",
+        )
+
+
+def build_overlay(
+    merged: VOTable,
+    cluster: ClusterModel,
+    optical_size: int = 256,
+    xray_size: int = 128,
+) -> OverlayProduct:
+    """Assemble the three Figure 7 layers from a merged portal catalog."""
+    if not {"ra", "dec", "valid", "asymmetry"} <= set(merged.field_names()):
+        raise ValueError("merged catalog lacks ra/dec/valid/asymmetry columns")
+    optical = render_field_mosaic(cluster, size=optical_size)
+    xray_native = render_xray_map(cluster, size=xray_size)
+    target_wcs = TanWCS.from_header(optical.header)
+    xray = reproject_tan(xray_native, target_wcs, optical.data.shape)
+    regions = tuple(catalog_to_regions(merged))
+    return OverlayProduct(cluster=cluster.name, optical=optical, xray=xray, regions=regions)
+
+
+def write_overlay(product: OverlayProduct, directory: str | Path) -> dict[str, Path]:
+    """Write the layers to ``directory``; returns the paths by role."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "optical": directory / f"{product.cluster}-optical.fits",
+        "xray": directory / f"{product.cluster}-xray.fits",
+        "regions": directory / f"{product.cluster}-galaxies.reg",
+    }
+    write_fits(paths["optical"], product.optical)
+    write_fits(paths["xray"], product.xray)
+    paths["regions"].write_text(product.region_text)
+    return paths

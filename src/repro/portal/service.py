@@ -1,0 +1,299 @@
+"""The Galaxy Morphology compute web service ("Pegasus as a Web service").
+
+Implements the seven numbered steps of Figure 6:
+
+1. receive (input VOTable, cluster name); mint a request id; return the
+   status URL immediately (asynchronous interface, §4.3.1(2));
+2. query the RLS for the output VOTable; if mapped, publish its location
+   and finish — the virtual-data short circuit;
+3. transform the input VOTable into a URL list (the first "stylesheet"),
+   download each image into the local cache site and register it in the
+   RLS (§4.3.1(3): the GridFTP-reachable image cache);
+4. transform the input VOTable into Chimera VDL (the second "stylesheet"):
+   the galMorph TR once, one DV per galaxy, one fan-in concat DV;
+5. Chimera composes the abstract workflow for the output VOTable;
+6. Pegasus reduces + concretizes and DAGMan/Condor-G executes;
+7. the status page serves the final VOTable's location once the RLS holds
+   its registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import ServiceError
+from repro.core.vds import VirtualDataSystem
+from repro.pegasus.planner import PlanResult
+from repro.condor.report import ExecutionReport
+from repro.services.transport import CostMeter
+from repro.utils.events import EventLog
+from repro.utils.ids import new_request_id
+from repro.portal.status import StatusBoard, StatusMessage
+from repro.votable.model import VOTable
+from repro.workflow.concrete import RegistrationNode
+
+#: Fetches image bytes for an access URL (wired to the cutout service).
+UrlFetcher = Callable[[str], bytes]
+
+#: Columns the input VOTable must carry (built by the portal).
+REQUIRED_INPUT_FIELDS = ("id", "ra", "dec", "redshift", "cutout_url", "cutout_scale")
+
+
+# -- the two XSLT-equivalent transforms (§4.3: "we used two stylesheets") ----
+def votable_to_url_list(vot: VOTable) -> list[tuple[str, str]]:
+    """Stylesheet 1: the input VOTable -> (galaxy id, image URL) pairs."""
+    missing = [f for f in ("id", "cutout_url") if f not in vot.field_names()]
+    if missing:
+        raise ServiceError(f"input VOTable lacks fields {missing}")
+    return [(row["id"], row["cutout_url"]) for row in vot]
+
+
+GALMORPH_TR = """
+TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om,
+             in flat, in image, out galMorph ) { }
+
+TR concatVOTable( in results, in cluster, out votable ) { }
+"""
+
+
+def votable_to_vdl(
+    vot: VOTable,
+    out_name: str,
+    cluster_name: str,
+    zero_point: float = 0.0,
+    ho: float = 100.0,
+    om: float = 0.3,
+) -> str:
+    """Stylesheet 2: the input VOTable -> VDL derivations.
+
+    One ``galMorph`` DV per galaxy (mirroring the paper's example
+    derivation, scalar cosmology parameters included) plus the fan-in
+    ``concatVOTable`` DV producing the cluster's output VOTable.
+    """
+    chunks: list[str] = []
+    result_lfns: list[str] = []
+    for row in vot:
+        galaxy_id = row["id"]
+        image_lfn = f"{galaxy_id}.fit"
+        result_lfn = f"{galaxy_id}.txt"
+        result_lfns.append(result_lfn)
+        chunks.append(
+            f'DV dv-{galaxy_id}->galMorph( '
+            f'redshift="{row["redshift"]}", '
+            f'pixScale="{row["cutout_scale"]}", '
+            f'zeroPoint="{zero_point}", Ho="{ho}", om="{om}", flat="1", '
+            f'image=@{{in:"{image_lfn}"}}, '
+            f'galMorph=@{{out:"{result_lfn}"}} );'
+        )
+    joined = ",".join(f'"{lfn}"' for lfn in result_lfns)
+    # Keyed by the *output* name: the same cluster requested under a new
+    # output VOTable name is a distinct derivation producing a distinct file.
+    chunks.append(
+        f'DV dv-concat-{out_name}->concatVOTable( '
+        f'results=@{{in:{joined}}}, cluster="{cluster_name}", '
+        f'votable=@{{out:"{out_name}"}} );'
+    )
+    return "\n".join(chunks) + "\n"
+
+
+@dataclass
+class ServiceRequestStatus:
+    """Book-keeping the service retains per request (for benches/tests)."""
+
+    request_id: str
+    cluster: str
+    out_name: str
+    status_url: str
+    short_circuited: bool = False
+    images_downloaded: int = 0
+    images_cached: int = 0
+    bytes_downloaded: int = 0
+    plan: PlanResult | None = None
+    report: ExecutionReport | None = None
+
+
+class GalaxyMorphologyService:
+    """The asynchronous Grid compute service of §4.3."""
+
+    def __init__(
+        self,
+        vds: VirtualDataSystem,
+        fetch_url: UrlFetcher,
+        cache_site: str = "nvo-storage",
+        output_site: str | None = None,
+        execution_mode: str = "local",
+        meter: CostMeter | None = None,
+        status_board: StatusBoard | None = None,
+        event_log: EventLog | None = None,
+    ) -> None:
+        self.vds = vds
+        self.fetch_url = fetch_url
+        self.cache_site = cache_site
+        self.output_site = output_site if output_site is not None else (
+            vds.planner_options.output_site or cache_site
+        )
+        self.execution_mode = execution_mode
+        self.meter = meter
+        self.status = status_board if status_board is not None else StatusBoard()
+        self.events = event_log if event_log is not None else vds.events
+        self.requests: dict[str, ServiceRequestStatus] = {}
+        self._tr_defined = False
+        self.result_base_url = "http://isi.grid/galmorph/result"
+
+    # -- public API (what the portal's two lines of C# called) ----------------
+    def gal_morph_compute(self, vot: VOTable, out_name: str, cluster_name: str) -> str:
+        """Accept a request; return the status URL (Figure 6 step 1).
+
+        Processing happens before return (single-process reproduction), but
+        all results flow through the status page exactly as the polling
+        protocol requires.
+        """
+        missing = [f for f in REQUIRED_INPUT_FIELDS if f not in vot.field_names()]
+        if missing:
+            raise ServiceError(f"input VOTable missing required fields: {missing}")
+        request_id = new_request_id()
+        status_url = self.status.create(request_id)
+        state = ServiceRequestStatus(request_id, cluster_name, out_name, status_url)
+        self.requests[request_id] = state
+        self.status.post(request_id, "accepted", f"request for {cluster_name} accepted")
+        self.events.emit(0.0, "service", "request-accepted", cluster=cluster_name, out=out_name)
+        try:
+            self._process(state, vot)
+        except Exception as exc:  # service must never propagate to the portal
+            self.status.post(request_id, "failed", str(exc))
+            self.events.emit(0.0, "service", "request-failed", error=str(exc))
+        return status_url
+
+    def poll(self, status_url: str) -> StatusMessage:
+        """GET of the status URL (the portal polls this)."""
+        if self.meter is not None:
+            self.meter.charge("status-poll", 0.1)
+        return self.status.poll(status_url)
+
+    def fetch_result(self, result_url: str) -> bytes:
+        """Retrieve a finished output VOTable by its published URL."""
+        lfn = result_url.rsplit("/", 1)[-1]
+        return self.vds.retrieve(lfn)
+
+    # -- the Figure 6 pipeline --------------------------------------------------
+    def _result_url(self, out_name: str) -> str:
+        return f"{self.result_base_url}/{out_name}"
+
+    def _process(self, state: ServiceRequestStatus, vot: VOTable) -> None:
+        request_id = state.request_id
+
+        # (2) the virtual-data short circuit
+        if self.vds.rls.exists(state.out_name):
+            state.short_circuited = True
+            self.events.emit(0.0, "service", "rls-short-circuit", out=state.out_name)
+            self.status.post(
+                request_id, "completed",
+                "output VOTable already materialised; answered from the RLS",
+                result_url=self._result_url(state.out_name),
+            )
+            return
+
+        # (3) URL list + image cache
+        self.status.post(request_id, "running", "collecting galaxy images")
+        self._collect_images(state, vot)
+
+        # (4) VDL generation
+        self._define_vdl(state, vot)
+        self.events.emit(0.0, "service", "vdl-generated", cluster=state.cluster)
+
+        # (5)+(6) Chimera composition, Pegasus planning, DAGMan execution
+        self.status.post(request_id, "running", "planning and executing on the Grid")
+        plan = self.vds.plan([state.out_name])
+        state.plan = plan
+        report = self.vds.execute(plan, mode=self.execution_mode)
+        state.report = report
+        if self.execution_mode == "simulate" and report.succeeded:
+            self._finalize_simulated(plan)
+
+        # (7) completion via the RLS mapping
+        if report.succeeded and self.vds.rls.exists(state.out_name):
+            self.status.post(
+                request_id, "completed",
+                f"workflow complete: {len(report.compute_runs)} jobs, "
+                f"{len(report.transfer_runs)} transfers",
+                result_url=self._result_url(state.out_name),
+            )
+        else:
+            self.status.post(
+                request_id, "failed",
+                f"workflow failed: {len(report.failed_nodes)} node(s) failed, "
+                f"{len(report.unrunnable_nodes)} unrunnable",
+            )
+
+    def _collect_images(self, state: ServiceRequestStatus, vot: VOTable) -> None:
+        """Figure 6 step 3: download + cache + register each galaxy image."""
+        cache = self.vds.sites[self.cache_site]
+        for galaxy_id, url in votable_to_url_list(vot):
+            image_lfn = f"{galaxy_id}.fit"
+            if self.vds.rls.exists(image_lfn):
+                state.images_cached += 1
+                continue  # already cached (or materialised elsewhere in the Grid)
+            content = self.fetch_url(url)
+            pfn = cache.pfn_for(image_lfn)
+            cache.put(pfn, content)
+            self.vds.rls.register(image_lfn, pfn, self.cache_site)
+            state.images_downloaded += 1
+            state.bytes_downloaded += len(content)
+        self.events.emit(
+            0.0, "service", "images-collected",
+            downloaded=state.images_downloaded, cached=state.images_cached,
+        )
+
+    def _define_vdl(self, state: ServiceRequestStatus, vot: VOTable) -> None:
+        """Figure 6 step 4; TR text only on the first request ever."""
+        if not self._tr_defined:
+            self.vds.define(GALMORPH_TR)
+            self._tr_defined = True
+        vdl_lines = votable_to_vdl(vot, state.out_name, state.cluster)
+        # Skip derivations already defined by an earlier request (their
+        # outputs have a producer); define only the new ones.
+        fresh: list[str] = []
+        for line in vdl_lines.splitlines():
+            if not line.strip():
+                continue
+            name = line.split("->", 1)[0].removeprefix("DV ").strip()
+            try:
+                self.vds.vdc.derivation(name)
+            except KeyError:
+                fresh.append(line)
+        if fresh:
+            self.vds.define("\n".join(fresh))
+        # Annotate the derivations with application metadata so virtual
+        # data can be requested by meaning ("cluster=A1656"), not only by
+        # logical file name (the GriPhyN metadata story).
+        for row in vot:
+            name = f'dv-{row["id"]}'
+            try:
+                self.vds.vdc.annotate(name, cluster=state.cluster, galaxy=row["id"], kind="morphology")
+            except KeyError:
+                pass  # defined by an earlier request; annotations persist
+        try:
+            self.vds.vdc.annotate(
+                f"dv-concat-{state.out_name}", cluster=state.cluster, kind="catalog"
+            )
+        except KeyError:
+            pass
+
+    def _finalize_simulated(self, plan: PlanResult) -> None:
+        """In simulation mode registration nodes ran only virtually; mirror
+        their effect so second-request caching semantics still hold."""
+        for node_id, payload in plan.concrete.dag.payloads():
+            if isinstance(payload, RegistrationNode):
+                site = self.vds.sites.get(payload.site)
+                if site is not None and not site.exists(payload.pfn):
+                    site.put_size(payload.pfn, self._simulated_size(payload.lfn))
+                self.vds.rls.register(payload.lfn, payload.pfn, payload.site)
+
+    @staticmethod
+    def _simulated_size(lfn: str) -> int:
+        if lfn.endswith(".fit"):
+            return 20160
+        if lfn.endswith(".txt"):
+            return 256
+        return 4096

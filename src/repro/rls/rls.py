@@ -1,0 +1,140 @@
+"""The two-tier Replica Location Service.
+
+Local Replica Catalogs (one per site) hold lfn -> pfn mappings; the Replica
+Location Index records which sites know a given lfn.  The facade resolves a
+logical name to all its physical replicas across the Grid — the query both
+Pegasus reduction ("if data products described within the AW already
+exist") and the feasibility check depend on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.utils.events import EventLog
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One physical copy of a logical file."""
+
+    lfn: str
+    pfn: str
+    site: str
+
+
+class LocalReplicaCatalog:
+    """Per-site lfn -> {pfn} catalog."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._mappings: dict[str, set[str]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, lfn: str, pfn: str) -> None:
+        with self._lock:
+            self._mappings.setdefault(lfn, set()).add(pfn)
+
+    def unregister(self, lfn: str, pfn: str | None = None) -> None:
+        with self._lock:
+            if lfn not in self._mappings:
+                raise KeyError(f"{self.site}: no mapping for {lfn!r}")
+            if pfn is None:
+                del self._mappings[lfn]
+            else:
+                self._mappings[lfn].discard(pfn)
+                if not self._mappings[lfn]:
+                    del self._mappings[lfn]
+
+    def lookup(self, lfn: str) -> list[str]:
+        with self._lock:
+            return sorted(self._mappings.get(lfn, ()))
+
+    def lfns(self) -> list[str]:
+        with self._lock:
+            return list(self._mappings)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mappings)
+
+
+class ReplicaLocationService:
+    """Facade over the LRCs + index: the service Pegasus queries.
+
+    Query statistics are tracked so the Figure 2 benchmark can show the
+    planner's (3) "Logical File Names" -> (4) "Physical File Names"
+    exchange actually happening.
+    """
+
+    def __init__(self, event_log: EventLog | None = None) -> None:
+        self._catalogs: dict[str, LocalReplicaCatalog] = {}
+        self._index: dict[str, set[str]] = {}  # lfn -> site names (the RLI)
+        self._lock = threading.Lock()
+        self.events = event_log if event_log is not None else EventLog()
+        self.query_count = 0
+
+    # -- site management -------------------------------------------------------
+    def add_site(self, site: str) -> LocalReplicaCatalog:
+        with self._lock:
+            if site in self._catalogs:
+                raise ValueError(f"site {site!r} already registered in the RLS")
+            catalog = LocalReplicaCatalog(site)
+            self._catalogs[site] = catalog
+            return catalog
+
+    def sites(self) -> list[str]:
+        with self._lock:
+            return list(self._catalogs)
+
+    # -- mapping operations -------------------------------------------------------
+    def register(self, lfn: str, pfn: str, site: str) -> None:
+        """Publish a replica: update the site LRC and the index."""
+        with self._lock:
+            if site not in self._catalogs:
+                raise KeyError(f"unknown site {site!r}; add_site it first")
+            catalog = self._catalogs[site]
+        catalog.register(lfn, pfn)
+        with self._lock:
+            self._index.setdefault(lfn, set()).add(site)
+
+    def unregister(self, lfn: str, site: str, pfn: str | None = None) -> None:
+        with self._lock:
+            if site not in self._catalogs:
+                raise KeyError(f"unknown site {site!r}")
+            catalog = self._catalogs[site]
+        catalog.unregister(lfn, pfn)
+        if not catalog.lookup(lfn):
+            with self._lock:
+                sites = self._index.get(lfn)
+                if sites:
+                    sites.discard(site)
+                    if not sites:
+                        del self._index[lfn]
+
+    def lookup(self, lfn: str) -> list[Replica]:
+        """All replicas of ``lfn``, across all sites (index-directed)."""
+        with self._lock:
+            self.query_count += 1
+            sites = sorted(self._index.get(lfn, ()))
+            catalogs = [self._catalogs[s] for s in sites]
+        replicas = [
+            Replica(lfn=lfn, pfn=pfn, site=catalog.site)
+            for catalog in catalogs
+            for pfn in catalog.lookup(lfn)
+        ]
+        return replicas
+
+    def exists(self, lfn: str) -> bool:
+        with self._lock:
+            self.query_count += 1
+            return lfn in self._index
+
+    def lookup_many(self, lfns: list[str]) -> dict[str, list[Replica]]:
+        """Bulk query, as the planner issues for a whole workflow at once."""
+        return {lfn: self.lookup(lfn) for lfn in lfns}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)

@@ -1,0 +1,42 @@
+"""Synthetic sky: the reproduction's substitute for real survey archives.
+
+The paper draws on DSS optical plates, ROSAT/Chandra X-ray archives and the
+NED/CNOC galaxy catalogs.  None of those are available offline, so this
+package synthesises statistically equivalent data with seeded RNG:
+
+* :mod:`repro.sky.cluster` — parametric galaxy clusters: King-profile member
+  positions, velocity dispersions, and a Dressler (1980) morphology-density
+  assignment (ellipticals preferentially at high local density / small
+  radius).  This is the ground truth the Figure 7 analysis must rediscover
+  *from the imaging alone*.
+* :mod:`repro.sky.profiles` / :mod:`repro.sky.galaxy` — Sersic surface
+  brightness profiles and per-type galaxy image rendering (de Vaucouleurs
+  ellipticals, exponential disks with spiral arms, irregulars).
+* :mod:`repro.sky.imaging` — FITS cutouts and wide-field mosaics with TAN
+  WCS, PSF convolution, sky background and noise.
+* :mod:`repro.sky.xray` — beta-model X-ray surface brightness maps for the
+  ROSAT/Chandra stand-ins.
+* :mod:`repro.sky.registry_data` — the eight demonstration clusters sized to
+  match the paper's §5 campaign (37-561 galaxies, 1152 jobs, ...).
+"""
+
+from repro.sky.cluster import ClusterModel, GalaxyRecord, MorphType
+from repro.sky.galaxy import render_galaxy_image
+from repro.sky.imaging import CutoutFactory, render_field_mosaic
+from repro.sky.profiles import sersic_b, sersic_profile
+from repro.sky.registry_data import DEMONSTRATION_CLUSTERS, demonstration_cluster
+from repro.sky.xray import render_xray_map
+
+__all__ = [
+    "ClusterModel",
+    "GalaxyRecord",
+    "MorphType",
+    "render_galaxy_image",
+    "CutoutFactory",
+    "render_field_mosaic",
+    "sersic_b",
+    "sersic_profile",
+    "DEMONSTRATION_CLUSTERS",
+    "demonstration_cluster",
+    "render_xray_map",
+]

@@ -1,0 +1,11 @@
+"""Transformation Catalog (Deelman 2001).
+
+"The Transformation Catalog performs the mapping between a logical
+component name and the location of the corresponding executables on
+specific compute resources.  The Transformation Catalog can also be used to
+annotate the components with the creation information" (§3.2).
+"""
+
+from repro.tc.catalog import TCEntry, TransformationCatalog
+
+__all__ = ["TCEntry", "TransformationCatalog"]

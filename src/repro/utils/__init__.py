@@ -1,0 +1,35 @@
+"""Shared low-level utilities: identifiers, seeded RNG, event logging, units.
+
+Everything in :mod:`repro` that needs randomness derives it from
+:func:`repro.utils.rng.derive_rng` so that whole campaign runs are
+reproducible from a single integer seed.
+"""
+
+from repro.utils.events import Event, EventLog
+from repro.utils.ids import RequestId, new_request_id, sequential_namer
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.timing import SimClock, WallTimer
+from repro.utils.units import (
+    MB,
+    GB,
+    KB,
+    format_bytes,
+    format_duration,
+)
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "RequestId",
+    "new_request_id",
+    "sequential_namer",
+    "derive_rng",
+    "derive_seed",
+    "SimClock",
+    "WallTimer",
+    "KB",
+    "MB",
+    "GB",
+    "format_bytes",
+    "format_duration",
+]

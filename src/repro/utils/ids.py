@@ -1,0 +1,59 @@
+"""Identifier helpers.
+
+The web service of the paper assigns "a unique identifier for each request
+which is included as a part of the returned URL" (§4.3 step 1).  We model
+request identifiers as short opaque strings minted from a counter plus a
+random suffix so they are unique within a process and stable under seeding.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable
+
+import numpy as np
+
+#: Alias used throughout the portal/service layer.
+RequestId = str
+
+_counter = itertools.count(1)
+_lock = threading.Lock()
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def new_request_id(rng: np.random.Generator | None = None, prefix: str = "req") -> RequestId:
+    """Mint a unique request identifier such as ``req-000042-k3xw9p``.
+
+    Parameters
+    ----------
+    rng:
+        Optional generator used for the random suffix; when omitted the
+        suffix is deterministic from the counter (useful in tests).
+    prefix:
+        Leading tag identifying the identifier family.
+    """
+    with _lock:
+        n = next(_counter)
+    if rng is None:
+        suffix = format(n * 2654435761 % 36**6, "06x")[:6]
+    else:
+        suffix = "".join(_ALPHABET[int(i)] for i in rng.integers(0, len(_ALPHABET), 6))
+    return f"{prefix}-{n:06d}-{suffix}"
+
+
+def sequential_namer(prefix: str, start: int = 1, width: int = 4) -> Callable[[], str]:
+    """Return a callable producing ``prefix-0001``, ``prefix-0002``, ...
+
+    Used for job and transfer-node names inside a single workflow, where
+    stable, human-readable names matter more than global uniqueness.
+    """
+    counter = itertools.count(start)
+    lock = threading.Lock()
+
+    def _next() -> str:
+        with lock:
+            return f"{prefix}-{next(counter):0{width}d}"
+
+    return _next

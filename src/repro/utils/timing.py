@@ -1,0 +1,60 @@
+"""Clocks: a virtual simulation clock and a wall-clock timer.
+
+The Condor/DAGMan substrate runs in two modes (see :mod:`repro.condor`):
+a discrete-event simulation, which advances a :class:`SimClock`, and a real
+local executor, which uses wall time.  Both expose ``now()`` so downstream
+components (event log, status board) are mode-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SimClock:
+    """A manually advanced clock for discrete-event simulation.
+
+    Time is a float in seconds.  The clock never goes backwards; attempting
+    to do so raises ``ValueError`` — regressions here are always simulator
+    bugs and should fail loudly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot go backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time step: {dt}")
+        self._now += float(dt)
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with WallTimer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+    def now(self) -> float:
+        return time.perf_counter()

@@ -1,0 +1,95 @@
+"""Abstract-workflow composition: Chimera's backward chaining.
+
+Given requested logical files, walk the Virtual Data Catalog backwards —
+the derivation that produces each file, then the derivations producing its
+inputs, and so on — and emit the resulting job set as an
+:class:`~repro.workflow.abstract.AbstractWorkflow` (Figure 1).  Files with
+no producing derivation are treated as raw inputs, to be located in the RLS
+by Pegasus's feasibility check later.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.core.errors import WorkflowError
+from repro.vdl.ast import Derivation
+from repro.vdl.catalog import VirtualDataCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+
+def _job_from_derivation(dv: Derivation) -> AbstractJob:
+    return AbstractJob(
+        job_id=dv.name,
+        transformation=dv.transformation,
+        inputs=dv.input_files(),
+        outputs=dv.output_files(),
+        parameters=dv.scalar_parameters(),
+    )
+
+
+def compose_workflow(
+    catalog: VirtualDataCatalog,
+    requested_lfns: Iterable[str],
+) -> AbstractWorkflow:
+    """Compose the abstract workflow materialising ``requested_lfns``.
+
+    Raises :class:`WorkflowError` when no derivation chain can produce a
+    requested file (i.e. it is neither derivable nor... derivable — raw
+    inputs are only legal as *intermediate* dependencies, not as the
+    requested product itself, matching Chimera's "if that composition is
+    possible").
+    """
+    requested = list(dict.fromkeys(requested_lfns))
+    if not requested:
+        raise WorkflowError("no logical files requested")
+
+    needed: dict[str, Derivation] = {}
+    frontier: deque[str] = deque()
+    for lfn in requested:
+        dv = catalog.producer_of(lfn)
+        if dv is None:
+            raise WorkflowError(
+                f"requested file {lfn!r} has no producing derivation in the catalog"
+            )
+        frontier.append(lfn)
+
+    seen_lfns: set[str] = set()
+    while frontier:
+        lfn = frontier.popleft()
+        if lfn in seen_lfns:
+            continue
+        seen_lfns.add(lfn)
+        dv = catalog.producer_of(lfn)
+        if dv is None:
+            continue  # raw input: Pegasus will look it up in the RLS
+        if dv.name not in needed:
+            needed[dv.name] = dv
+            frontier.extend(dv.input_files())
+
+    # Insert jobs in dependency order so AbstractWorkflow edge wiring stays
+    # O(inputs) per job (producers always precede consumers).
+    workflow = AbstractWorkflow()
+    emitted: set[str] = set()
+    remaining = dict(needed)
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            dv = remaining[name]
+            deps = {
+                catalog.producer_of(lfn).name  # type: ignore[union-attr]
+                for lfn in dv.input_files()
+                if catalog.producer_of(lfn) is not None
+                and catalog.producer_of(lfn).name in needed  # type: ignore[union-attr]
+            }
+            if deps <= emitted:
+                workflow.add_job(_job_from_derivation(dv))
+                emitted.add(name)
+                del remaining[name]
+                progressed = True
+        if not progressed:
+            raise WorkflowError(
+                f"cyclic derivation chain among {sorted(remaining)}"
+            )
+    return workflow

@@ -1,0 +1,158 @@
+"""VOTable BINARY serialisation: the spec's bulk-data encoding.
+
+TABLEDATA (one XML element per cell) is convenient but bloated; the VOTable
+standard's BINARY serialisation streams rows as packed big-endian values,
+base64-encoded inside a ``<STREAM>`` element.  For the campaign's
+561-galaxy catalogs this roughly halves the document size and removes the
+per-cell XML parse cost — the kind of efficiency §3.1 anticipates from
+"successors to these interfaces".
+
+Encoding rules implemented (VOTable 1.x):
+
+* ``boolean`` — one ASCII byte, ``T``/``F`` (``?`` for null);
+* ``short``/``int``/``long`` — big-endian 2/4/8-byte integers;
+* ``float``/``double`` — big-endian IEEE-754, NaN encodes null;
+* variable-length ``char`` — a 4-byte length prefix then the ASCII bytes.
+
+Integer nulls follow the spec's FIELD ``null`` convention: the writer
+declares a sentinel value (INT_MIN of the width) and the parser maps it
+back to ``None``.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+import xml.etree.ElementTree as ET
+
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import NS, _find_children, _find_descendants, _localname
+
+_INT_FORMATS = {"short": (">h", -(2**15)), "int": (">i", -(2**31)), "long": (">q", -(2**63))}
+_FLOAT_FORMATS = {"float": ">f", "double": ">d"}
+
+
+def _encode_cell(value, field: Field) -> bytes:
+    dt = field.datatype
+    if dt == "boolean":
+        if value is None:
+            return b"?"
+        return b"T" if value else b"F"
+    if dt in _INT_FORMATS:
+        fmt, null = _INT_FORMATS[dt]
+        return struct.pack(fmt, null if value is None else int(value))
+    if dt in _FLOAT_FORMATS:
+        return struct.pack(_FLOAT_FORMATS[dt], float("nan") if value is None else float(value))
+    # variable-length char
+    data = ("" if value is None else str(value)).encode("utf-8")
+    return struct.pack(">I", len(data)) + data
+
+
+def _decode_cell(buffer: bytes, offset: int, field: Field):
+    dt = field.datatype
+    if dt == "boolean":
+        ch = buffer[offset : offset + 1]
+        if ch == b"?":
+            return None, offset + 1
+        return ch == b"T", offset + 1
+    if dt in _INT_FORMATS:
+        fmt, null = _INT_FORMATS[dt]
+        size = struct.calcsize(fmt)
+        (value,) = struct.unpack_from(fmt, buffer, offset)
+        return (None if value == null else value), offset + size
+    if dt in _FLOAT_FORMATS:
+        fmt = _FLOAT_FORMATS[dt]
+        size = struct.calcsize(fmt)
+        (value,) = struct.unpack_from(fmt, buffer, offset)
+        return (None if value != value else value), offset + size  # NaN -> null
+    (length,) = struct.unpack_from(">I", buffer, offset)
+    offset += 4
+    text = buffer[offset : offset + length].decode("utf-8")
+    if len(text.encode("utf-8")) != length:
+        raise ValueError("truncated char cell in BINARY stream")
+    return (text if length else None), offset + length
+
+
+def write_votable_binary(table: VOTable) -> str:
+    """Serialise ``table`` with the BINARY stream encoding."""
+    root = ET.Element("VOTABLE", {"version": "1.1", "xmlns": NS})
+    resource = ET.SubElement(root, "RESOURCE")
+    for key, value in table.params.items():
+        ET.SubElement(
+            resource, "PARAM", {"name": key, "value": value, "datatype": "char", "arraysize": "*"}
+        )
+    telem = ET.SubElement(resource, "TABLE", {"name": table.name} if table.name else {})
+    if table.description:
+        ET.SubElement(telem, "DESCRIPTION").text = table.description
+    for f in table.fields:
+        attrs = {"name": f.name, "datatype": f.datatype}
+        if f.unit:
+            attrs["unit"] = f.unit
+        if f.ucd:
+            attrs["ucd"] = f.ucd
+        if f.arraysize is not None:
+            attrs["arraysize"] = f.arraysize
+        if f.datatype in _INT_FORMATS:
+            attrs["null"] = str(_INT_FORMATS[f.datatype][1])
+        ET.SubElement(telem, "FIELD", attrs)
+
+    payload = bytearray()
+    for row in table.rows():
+        for value, f in zip(row, table.fields):
+            payload += _encode_cell(value, f)
+    data = ET.SubElement(telem, "DATA")
+    binary = ET.SubElement(data, "BINARY")
+    stream = ET.SubElement(binary, "STREAM", {"encoding": "base64"})
+    stream.text = base64.b64encode(bytes(payload)).decode("ascii")
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def parse_votable_binary(source: str | bytes) -> VOTable:
+    """Parse a BINARY-serialised VOTable document."""
+    if isinstance(source, bytes):
+        source = source.decode("utf-8")
+    root = ET.fromstring(source)
+    if _localname(root.tag) != "VOTABLE":
+        raise ValueError(f"not a VOTable document: root {root.tag!r}")
+    tables = _find_descendants(root, "TABLE")
+    if not tables:
+        raise ValueError("document contains no TABLE")
+    telem = tables[0]
+
+    fields = []
+    for felem in _find_children(telem, "FIELD"):
+        fields.append(
+            Field(
+                name=felem.get("name", ""),
+                datatype=felem.get("datatype", "char"),
+                unit=felem.get("unit", ""),
+                ucd=felem.get("ucd", ""),
+                arraysize=felem.get("arraysize"),
+            )
+        )
+    params = {
+        p.get("name", ""): p.get("value", "")
+        for p in _find_descendants(root, "PARAM")
+        if p.get("name")
+    }
+    desc_elems = _find_children(telem, "DESCRIPTION")
+    table = VOTable(
+        fields,
+        name=telem.get("name", ""),
+        description=(desc_elems[0].text or "").strip() if desc_elems else "",
+        params=params,
+    )
+
+    streams = _find_descendants(telem, "STREAM")
+    if not streams:
+        raise ValueError("BINARY serialisation requires a STREAM element")
+    raw = base64.b64decode(streams[0].text or "")
+    offset = 0
+    while offset < len(raw):
+        row = []
+        for f in fields:
+            value, offset = _decode_cell(raw, offset, f)
+            row.append(value)
+        table.append(row)
+    return table

@@ -1,0 +1,97 @@
+"""VOTable XML parsing."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.votable.model import Field, VOTable
+
+#: VOTable 1.1 namespace; we accept namespaced and bare documents alike.
+NS = "http://www.ivoa.net/xml/VOTable/v1.1"
+
+
+def _localname(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _find_children(elem: ET.Element, name: str) -> list[ET.Element]:
+    return [child for child in elem if _localname(child.tag) == name]
+
+
+def _find_descendants(elem: ET.Element, name: str) -> list[ET.Element]:
+    return [node for node in elem.iter() if _localname(node.tag) == name]
+
+
+def _parse_cell(text: str | None, datatype: str) -> Any:
+    if text is None:
+        return None
+    text = text.strip()
+    if text == "":
+        return None
+    if datatype == "boolean":
+        lowered = text.lower()
+        if lowered in ("t", "true", "1"):
+            return True
+        if lowered in ("f", "false", "0"):
+            return False
+        raise ValueError(f"invalid boolean cell: {text!r}")
+    if datatype == "char":
+        return text
+    if datatype in ("short", "int", "long"):
+        return int(text)
+    return float(text)
+
+
+def parse_votable(source: str | bytes) -> VOTable:
+    """Parse a VOTable document (string or UTF-8 bytes) into a :class:`VOTable`.
+
+    Only the first TABLE of the first RESOURCE is read, matching the
+    prototype's single-table payloads.  ``PARAM`` elements at RESOURCE or
+    TABLE level become entries of :attr:`VOTable.params`.
+    """
+    if isinstance(source, bytes):
+        source = source.decode("utf-8")
+    root = ET.fromstring(source)
+    if _localname(root.tag) != "VOTABLE":
+        raise ValueError(f"not a VOTable document: root element {root.tag!r}")
+
+    tables = _find_descendants(root, "TABLE")
+    if not tables:
+        raise ValueError("VOTable document contains no TABLE")
+    table_elem = tables[0]
+
+    fields = []
+    for felem in _find_children(table_elem, "FIELD"):
+        desc_elems = _find_children(felem, "DESCRIPTION")
+        fields.append(
+            Field(
+                name=felem.get("name", ""),
+                datatype=felem.get("datatype", "char"),
+                unit=felem.get("unit", ""),
+                ucd=felem.get("ucd", ""),
+                arraysize=felem.get("arraysize"),
+                description=(desc_elems[0].text or "").strip() if desc_elems else "",
+            )
+        )
+
+    params: dict[str, str] = {}
+    for pelem in _find_descendants(root, "PARAM"):
+        name = pelem.get("name")
+        if name:
+            params[name] = pelem.get("value", "")
+
+    name = table_elem.get("name", "")
+    desc_elems = _find_children(table_elem, "DESCRIPTION")
+    description = (desc_elems[0].text or "").strip() if desc_elems else ""
+
+    table = VOTable(fields, name=name, description=description, params=params)
+
+    for tr in _find_descendants(table_elem, "TR"):
+        cells = [_parse_cell(td.text, f.datatype) for td, f in zip(_find_children(tr, "TD"), fields)]
+        if len(cells) != len(fields):
+            raise ValueError(
+                f"row has {len(cells)} cells but table declares {len(fields)} fields"
+            )
+        table.append(cells)
+    return table

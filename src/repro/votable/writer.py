@@ -1,0 +1,87 @@
+"""VOTable XML serialisation and the Mirage-format export.
+
+The paper supported the IBM Mirage visualisation tool "by creating an XSL
+stylesheet that transformed the VOTable into the tool's native format";
+:func:`to_mirage_format` is that transform.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.votable.model import VOTable
+from repro.votable.parser import NS
+
+
+def _format_cell(value: Any, datatype: str) -> str:
+    if value is None:
+        return ""
+    if datatype == "boolean":
+        return "T" if value else "F"
+    if datatype in ("float", "double"):
+        return repr(float(value))
+    return str(value)
+
+
+def write_votable(table: VOTable, namespaced: bool = True) -> str:
+    """Serialise ``table`` to a VOTable XML string.
+
+    ``namespaced=False`` emits the bare-element dialect many 2003-era
+    services produced; :func:`repro.votable.parser.parse_votable` accepts
+    both.
+    """
+    attrs = {"version": "1.1"}
+    if namespaced:
+        attrs["xmlns"] = NS
+    root = ET.Element("VOTABLE", attrs)
+    resource = ET.SubElement(root, "RESOURCE")
+    for key, value in table.params.items():
+        ET.SubElement(resource, "PARAM", {"name": key, "value": value, "datatype": "char", "arraysize": "*"})
+    telem = ET.SubElement(resource, "TABLE", {"name": table.name} if table.name else {})
+    if table.description:
+        ET.SubElement(telem, "DESCRIPTION").text = table.description
+    for f in table.fields:
+        fattrs = {"name": f.name, "datatype": f.datatype}
+        if f.unit:
+            fattrs["unit"] = f.unit
+        if f.ucd:
+            fattrs["ucd"] = f.ucd
+        if f.arraysize is not None:
+            fattrs["arraysize"] = f.arraysize
+        elif f.datatype == "char":
+            fattrs["arraysize"] = "*"
+        felem = ET.SubElement(telem, "FIELD", fattrs)
+        if f.description:
+            ET.SubElement(felem, "DESCRIPTION").text = f.description
+    data = ET.SubElement(telem, "DATA")
+    tabledata = ET.SubElement(data, "TABLEDATA")
+    for row in table.rows():
+        tr = ET.SubElement(tabledata, "TR")
+        for value, f in zip(row, table.fields):
+            ET.SubElement(tr, "TD").text = _format_cell(value, f.datatype)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def to_mirage_format(table: VOTable) -> str:
+    """Render ``table`` in Mirage's native whitespace-delimited format.
+
+    Mirage expects a ``format`` header line naming the variables followed by
+    one whitespace-separated record per row; string cells are quoted and
+    nulls written as ``-``.
+    """
+    lines = ["format " + " ".join(f.name for f in table.fields)]
+    for row in table.rows():
+        cells = []
+        for value, f in zip(row, table.fields):
+            if value is None:
+                cells.append("-")
+            elif f.datatype == "char":
+                cells.append(f'"{value}"')
+            elif f.datatype == "boolean":
+                cells.append("1" if value else "0")
+            else:
+                cells.append(str(value))
+        lines.append(" ".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,121 @@
+"""Abstract workflows: logical transformations over logical file names.
+
+"This workflow is termed abstract, because it describes the desired data
+product in terms of logical filenames and logical transformations without
+specifying the resources that will be used to execute the workflow" (§3.2,
+Figure 1).  Dependency edges are *derived from data flow*: the producer of
+a logical file precedes each of its consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import WorkflowError
+from repro.workflow.dag import DAG
+
+
+@dataclass(frozen=True)
+class AbstractJob:
+    """One logical job: a transformation applied to logical files.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id within the workflow — conventionally the derivation name.
+    transformation:
+        Logical transformation name (resolved later via the TC).
+    inputs / outputs:
+        Logical file names consumed / produced.
+    parameters:
+        Scalar (non-file) arguments, name -> string value, exactly as bound
+        in the VDL derivation.
+    """
+
+    job_id: str
+    transformation: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    parameters: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise WorkflowError(f"job {self.job_id!r} produces no outputs")
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise WorkflowError(f"job {self.job_id!r} both reads and writes {sorted(overlap)}")
+
+
+class AbstractWorkflow:
+    """A DAG of :class:`AbstractJob` with data-flow-derived edges."""
+
+    def __init__(self, jobs: Iterable[AbstractJob] = ()) -> None:
+        self.dag: DAG[AbstractJob] = DAG()
+        self._producer: dict[str, str] = {}  # lfn -> job_id
+        self._consumers: dict[str, list[str]] = {}  # lfn -> job_ids
+        for job in jobs:
+            self.add_job(job)
+
+    def add_job(self, job: AbstractJob) -> None:
+        """Add a job; wires edges to/from already-present jobs by data flow.
+
+        Edge wiring is O(inputs + outputs) via producer/consumer indexes, so
+        building an n-job fan-in workflow is linear, not quadratic.
+        """
+        for lfn in job.outputs:
+            if lfn in self._producer:
+                raise WorkflowError(
+                    f"logical file {lfn!r} produced by both "
+                    f"{self._producer[lfn]!r} and {job.job_id!r}"
+                )
+        self.dag.add_node(job.job_id, job)
+        for lfn in job.outputs:
+            self._producer[lfn] = job.job_id
+        # upstream edges: producers of my inputs
+        for lfn in job.inputs:
+            self._consumers.setdefault(lfn, []).append(job.job_id)
+            producer = self._producer.get(lfn)
+            if producer is not None and producer != job.job_id:
+                self.dag.add_edge(producer, job.job_id)
+        # downstream edges: consumers of my outputs already in the graph
+        for lfn in job.outputs:
+            for consumer in self._consumers.get(lfn, ()):
+                if consumer != job.job_id:
+                    self.dag.add_edge(job.job_id, consumer)
+        self.dag.validate()
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.dag)
+
+    def jobs(self) -> list[AbstractJob]:
+        return [payload for _, payload in self.dag.payloads()]
+
+    def job(self, job_id: str) -> AbstractJob:
+        return self.dag.payload(job_id)
+
+    def producer_of(self, lfn: str) -> str | None:
+        """Job id producing ``lfn``, or None if it is a workflow input."""
+        return self._producer.get(lfn)
+
+    def required_inputs(self) -> set[str]:
+        """Logical files consumed but not produced — must exist in the RLS.
+
+        These belong to the workflow's *root nodes* in the paper's
+        feasibility-check sense.
+        """
+        consumed = {lfn for job in self.jobs() for lfn in job.inputs}
+        return consumed - set(self._producer)
+
+    def products(self) -> set[str]:
+        """All logical files produced by the workflow."""
+        return set(self._producer)
+
+    def final_products(self) -> set[str]:
+        """Products not consumed by any job in this workflow."""
+        consumed = {lfn for job in self.jobs() for lfn in job.inputs}
+        return set(self._producer) - consumed
+
+    def copy(self) -> "AbstractWorkflow":
+        return AbstractWorkflow(self.jobs())

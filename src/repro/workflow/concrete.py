@@ -1,0 +1,144 @@
+"""Concrete workflows: site-pinned jobs plus data movement and registration.
+
+Figure 4: the concrete workflow "specifies the resources to be used,
+performs the data movement, stages the data in and out of the computation,
+delivers it to the user-specified location U and registers the newly
+created data product in the RLS."  Three node species correspondingly:
+:class:`ComputeNode`, :class:`TransferNode`, :class:`RegistrationNode`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.workflow.abstract import AbstractJob
+from repro.workflow.dag import DAG
+
+#: Union payload type for the concrete DAG.
+ConcreteNode = "ComputeNode | TransferNode | RegistrationNode"
+
+
+class TransferKind(str, enum.Enum):
+    """Why a transfer node exists."""
+
+    STAGE_IN = "stage-in"  # replica site -> execution site
+    INTER_SITE = "inter-site"  # producer site -> consumer site
+    STAGE_OUT = "stage-out"  # execution site -> user/output site
+    """Delivery of a final product to the user-specified location U."""
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """A job pinned to an execution site with resolved executable path."""
+
+    node_id: str
+    job: AbstractJob
+    site: str
+    executable: str
+
+    @property
+    def transformation(self) -> str:
+        return self.job.transformation
+
+
+@dataclass(frozen=True)
+class ClusteredComputeNode:
+    """A horizontal cluster: several compute jobs run sequentially as one
+    submitted unit (Pegasus's seqexec-style clustering), amortising
+    per-job scheduling overhead.  All members share one execution site."""
+
+    node_id: str
+    members: tuple[ComputeNode, ...]
+    site: str
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("a cluster needs at least two member jobs")
+        if any(m.site != self.site for m in self.members):
+            raise ValueError("cluster members must share the execution site")
+
+    @property
+    def transformation(self) -> str:
+        return self.members[0].transformation
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class TransferNode:
+    """Moves one logical file between sites (GridFTP in the paper)."""
+
+    node_id: str
+    lfn: str
+    kind: TransferKind
+    source_site: str
+    source_pfn: str
+    dest_site: str
+    dest_pfn: str
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class RegistrationNode:
+    """Publishes a new data product into the RLS."""
+
+    node_id: str
+    lfn: str
+    pfn: str
+    site: str
+
+
+class ConcreteWorkflow:
+    """DAG over compute / transfer / registration nodes."""
+
+    def __init__(self) -> None:
+        self.dag: DAG[object] = DAG()
+
+    def add(self, node: ComputeNode | TransferNode | RegistrationNode) -> str:
+        self.dag.add_node(node.node_id, node)
+        return node.node_id
+
+    def link(self, parent: str, child: str) -> None:
+        self.dag.add_edge(parent, child)
+
+    # -- typed views -------------------------------------------------------------
+    def compute_nodes(self) -> list[ComputeNode]:
+        return [p for _, p in self.dag.payloads() if isinstance(p, ComputeNode)]
+
+    def clustered_nodes(self) -> list[ClusteredComputeNode]:
+        return [p for _, p in self.dag.payloads() if isinstance(p, ClusteredComputeNode)]
+
+    def total_compute_jobs(self) -> int:
+        """Compute jobs counting every member of every cluster."""
+        return len(self.compute_nodes()) + sum(len(c) for c in self.clustered_nodes())
+
+    def transfer_nodes(self, kind: TransferKind | None = None) -> list[TransferNode]:
+        nodes = [p for _, p in self.dag.payloads() if isinstance(p, TransferNode)]
+        if kind is not None:
+            nodes = [n for n in nodes if n.kind == kind]
+        return nodes
+
+    def registration_nodes(self) -> list[RegistrationNode]:
+        return [p for _, p in self.dag.payloads() if isinstance(p, RegistrationNode)]
+
+    def __len__(self) -> int:
+        return len(self.dag)
+
+    def stats(self) -> dict[str, int]:
+        """Node counts and transfer volume — the §5 accounting quantities."""
+        transfers = self.transfer_nodes()
+        return {
+            "compute": len(self.compute_nodes()),
+            "clustered": len(self.clustered_nodes()),
+            "transfer": len(transfers),
+            "stage_in": sum(1 for t in transfers if t.kind == TransferKind.STAGE_IN),
+            "inter_site": sum(1 for t in transfers if t.kind == TransferKind.INTER_SITE),
+            "stage_out": sum(1 for t in transfers if t.kind == TransferKind.STAGE_OUT),
+            "registration": len(self.registration_nodes()),
+            "bytes_moved": sum(t.size_bytes for t in transfers),
+        }
+
+    def validate(self) -> None:
+        self.dag.validate()

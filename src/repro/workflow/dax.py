@@ -1,0 +1,68 @@
+"""DAX-style XML serialisation of abstract workflows.
+
+Chimera hands Pegasus the abstract workflow as an XML "DAX" document; this
+module writes and parses an equivalent dialect so workflows can cross
+process boundaries (and so the property tests can round-trip them).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+
+def write_dax(workflow: AbstractWorkflow, name: str = "workflow") -> str:
+    """Serialise an abstract workflow to DAX-like XML."""
+    root = ET.Element("adag", {"name": name, "jobCount": str(len(workflow))})
+    for job in workflow.jobs():
+        jelem = ET.SubElement(root, "job", {"id": job.job_id, "transformation": job.transformation})
+        for key, value in sorted(job.parameters.items()):
+            ET.SubElement(jelem, "argument", {"name": key, "value": value})
+        for lfn in job.inputs:
+            ET.SubElement(jelem, "uses", {"file": lfn, "link": "input"})
+        for lfn in job.outputs:
+            ET.SubElement(jelem, "uses", {"file": lfn, "link": "output"})
+    # Explicit control edges mirror the derived data-flow edges, as in DAX.
+    for parent, child in sorted(workflow.dag.edges()):
+        celem = ET.SubElement(root, "child", {"ref": child})
+        ET.SubElement(celem, "parent", {"ref": parent})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def parse_dax(text: str | bytes) -> AbstractWorkflow:
+    """Parse DAX-like XML back into an :class:`AbstractWorkflow`.
+
+    Edges are re-derived from the declared file uses; the explicit
+    child/parent elements are validated against them.
+    """
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    root = ET.fromstring(text)
+    if root.tag != "adag":
+        raise ValueError(f"not a DAX document: root element {root.tag!r}")
+    jobs = []
+    for jelem in root.findall("job"):
+        inputs = tuple(u.get("file", "") for u in jelem.findall("uses") if u.get("link") == "input")
+        outputs = tuple(u.get("file", "") for u in jelem.findall("uses") if u.get("link") == "output")
+        parameters = {a.get("name", ""): a.get("value", "") for a in jelem.findall("argument")}
+        jobs.append(
+            AbstractJob(
+                job_id=jelem.get("id", ""),
+                transformation=jelem.get("transformation", ""),
+                inputs=inputs,
+                outputs=outputs,
+                parameters=parameters,
+            )
+        )
+    workflow = AbstractWorkflow(jobs)
+
+    declared = {(p.get("ref"), c.get("ref")) for c in root.findall("child") for p in c.findall("parent")}
+    derived = set(workflow.dag.edges())
+    if declared != derived:
+        raise ValueError(
+            f"DAX control edges disagree with data flow: "
+            f"declared-only={sorted(declared - derived)}, derived-only={sorted(derived - declared)}"
+        )
+    return workflow

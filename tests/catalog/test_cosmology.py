@@ -1,0 +1,92 @@
+"""Tests for the flat Lambda-CDM cosmology."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.cosmology import C_KM_S, FlatLambdaCDM
+
+
+class TestConstruction:
+    def test_bad_h0(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM(h0=0.0)
+
+    def test_bad_omega(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM(omega_m=0.0)
+        with pytest.raises(ValueError):
+            FlatLambdaCDM(omega_m=1.5)
+
+    def test_flatness(self):
+        cosmo = FlatLambdaCDM(omega_m=0.3)
+        assert cosmo.omega_lambda == pytest.approx(0.7)
+
+
+class TestDistances:
+    def test_zero_redshift(self):
+        cosmo = FlatLambdaCDM()
+        assert cosmo.comoving_distance_mpc(0.0) == 0.0
+
+    def test_negative_redshift_rejected(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM().comoving_distance_mpc(-0.1)
+
+    def test_low_z_hubble_law(self):
+        # D ~ cz/H0 for z << 1
+        cosmo = FlatLambdaCDM(h0=100.0)
+        z = 0.01
+        expected = C_KM_S * z / 100.0
+        assert cosmo.comoving_distance_mpc(z) == pytest.approx(expected, rel=0.02)
+
+    def test_einstein_de_sitter_analytic(self):
+        # Omega_m = 1: D_C = 2 (c/H0) (1 - 1/sqrt(1+z))
+        cosmo = FlatLambdaCDM(h0=70.0, omega_m=1.0)
+        z = 1.0
+        analytic = 2.0 * cosmo.hubble_distance_mpc * (1.0 - 1.0 / (1.0 + z) ** 0.5)
+        assert cosmo.comoving_distance_mpc(z) == pytest.approx(analytic, rel=1e-4)
+
+    def test_distance_relations(self):
+        cosmo = FlatLambdaCDM()
+        z = 0.5
+        d_c = cosmo.comoving_distance_mpc(z)
+        assert cosmo.angular_diameter_distance_mpc(z) == pytest.approx(d_c / 1.5)
+        assert cosmo.luminosity_distance_mpc(z) == pytest.approx(d_c * 1.5)
+
+    @given(st.floats(0.001, 3.0))
+    def test_monotonic_in_z(self, z):
+        cosmo = FlatLambdaCDM()
+        assert cosmo.comoving_distance_mpc(z + 0.1) > cosmo.comoving_distance_mpc(z)
+
+    def test_known_concordance_value(self):
+        # For H0=70, Om=0.3: D_C(z=1) ~ 3300 Mpc (standard reference value)
+        cosmo = FlatLambdaCDM(h0=70.0, omega_m=0.3)
+        assert cosmo.comoving_distance_mpc(1.0) == pytest.approx(3300, rel=0.02)
+
+
+class TestScales:
+    def test_kpc_per_arcsec_coma(self):
+        # Coma (z=0.0231), H0=100: ~0.32 h^-1 kpc/arcsec
+        cosmo = FlatLambdaCDM(h0=100.0)
+        assert cosmo.kpc_per_arcsec(0.0231) == pytest.approx(0.327, rel=0.03)
+
+    def test_pixel_scale_kpc(self):
+        cosmo = FlatLambdaCDM()
+        z, pix_deg = 0.05, 0.4 / 3600.0
+        expected = cosmo.kpc_per_arcsec(z) * 0.4
+        assert cosmo.pixel_scale_kpc(z, pix_deg) == pytest.approx(expected)
+
+    def test_pixel_scale_sign_insensitive(self):
+        cosmo = FlatLambdaCDM()
+        assert cosmo.pixel_scale_kpc(0.1, -1e-4) == cosmo.pixel_scale_kpc(0.1, 1e-4)
+
+    def test_distance_modulus(self):
+        cosmo = FlatLambdaCDM(h0=70.0)
+        # z=0.1: D_L ~ 460 Mpc -> mu ~ 38.3
+        assert cosmo.distance_modulus(0.1) == pytest.approx(38.3, abs=0.2)
+
+    def test_distance_modulus_z0(self):
+        with pytest.raises(ValueError):
+            FlatLambdaCDM().distance_modulus(0.0)

@@ -1,0 +1,95 @@
+"""Tests for cross-matching and local density estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.crossmatch import (
+    crossmatch_positions,
+    local_density,
+    radial_separation_deg,
+)
+
+
+class TestCrossmatch:
+    def test_exact_match(self):
+        pairs = crossmatch_positions(
+            np.array([10.0, 20.0]),
+            np.array([0.0, 5.0]),
+            np.array([20.0, 10.0]),
+            np.array([5.0, 0.0]),
+        )
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+
+    def test_tolerance_respected(self):
+        offset = 5.0 / 3600.0  # 5 arcsec
+        pairs = crossmatch_positions(
+            np.array([10.0]), np.array([0.0]),
+            np.array([10.0 + offset]), np.array([0.0]),
+            tolerance_arcsec=2.0,
+        )
+        assert pairs == []
+        pairs = crossmatch_positions(
+            np.array([10.0]), np.array([0.0]),
+            np.array([10.0 + offset]), np.array([0.0]),
+            tolerance_arcsec=6.0,
+        )
+        assert pairs == [(0, 0)]
+
+    def test_nearest_neighbour_selected(self):
+        pairs = crossmatch_positions(
+            np.array([10.0]), np.array([0.0]),
+            np.array([10.0003, 10.0001]), np.array([0.0, 0.0]),
+            tolerance_arcsec=5.0,
+        )
+        assert pairs == [(0, 1)]
+
+    def test_empty_catalogs(self):
+        assert crossmatch_positions(np.array([]), np.array([]), np.array([1.0]), np.array([1.0])) == []
+        assert crossmatch_positions(np.array([1.0]), np.array([1.0]), np.array([]), np.array([])) == []
+
+    def test_ra_wrap_at_zero(self):
+        # sources straddling RA=0 must still match
+        pairs = crossmatch_positions(
+            np.array([359.9999]), np.array([0.0]),
+            np.array([0.0001]), np.array([0.0]),
+            tolerance_arcsec=2.0,
+        )
+        assert pairs == [(0, 0)]
+
+
+class TestLocalDensity:
+    def test_dense_region_higher(self):
+        rng = np.random.default_rng(1)
+        # 40 points in a tight clump + 40 spread wide
+        clump_ra = 10.0 + rng.normal(0, 0.01, 40)
+        clump_dec = 0.0 + rng.normal(0, 0.01, 40)
+        field_ra = 10.0 + rng.uniform(-2, 2, 40)
+        field_dec = rng.uniform(-2, 2, 40)
+        ra = np.concatenate([clump_ra, field_ra])
+        dec = np.concatenate([clump_dec, field_dec])
+        density = local_density(ra, dec, n_neighbors=5)
+        assert density[:40].mean() > 10 * density[40:].mean()
+
+    def test_small_samples(self):
+        assert local_density(np.array([1.0]), np.array([1.0])).tolist() == [0.0]
+        out = local_density(np.array([1.0, 1.001]), np.array([0.0, 0.0]), n_neighbors=10)
+        assert (out > 0).all()
+
+    def test_all_positive(self):
+        rng = np.random.default_rng(2)
+        density = local_density(rng.uniform(0, 10, 30), rng.uniform(-5, 5, 30))
+        assert (density > 0).all()
+
+    def test_coincident_points_finite(self):
+        ra = np.array([5.0, 5.0, 5.0])
+        dec = np.array([1.0, 1.0, 1.0])
+        assert np.isfinite(local_density(ra, dec, n_neighbors=2)).all()
+
+
+class TestRadialSeparation:
+    def test_matches_scalar_separation(self):
+        out = radial_separation_deg(10.0, 0.0, np.array([10.0, 11.0]), np.array([0.0, 0.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,152 @@
+"""Tests for ClassAd expressions and matchmaking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.condor.classads import (
+    ClassAd,
+    ClassAdError,
+    Matchmaker,
+    evaluate,
+    parse_expression,
+)
+
+
+def ev(expr: str, own=None, other=None):
+    return evaluate(parse_expression(expr), own or {}, other or {})
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert ev("42") == 42
+        assert ev("3.5") == 3.5
+        assert ev('"x86"') == "x86"
+        assert ev("TRUE") is True
+        assert ev("false") is False
+
+    def test_arithmetic_precedence(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("(2 + 3) * 4") == 20
+        assert ev("10 / 4") == 2.5
+        assert ev("-3 + 5") == 2
+
+    def test_comparisons(self):
+        assert ev("2 < 3") is True
+        assert ev('"a" == "a"') is True
+        assert ev("5 >= 6") is False
+        assert ev("1 != 2") is True
+
+    def test_boolean_logic(self):
+        assert ev("true && false") is False
+        assert ev("true || false") is True
+        assert ev("!false") is True
+        assert ev("1 < 2 && 3 < 4") is True
+
+    def test_attribute_references(self):
+        own = {"Memory": 2048, "Arch": "x86"}
+        other = {"RequestMemory": 512}
+        assert ev("Memory >= other.RequestMemory", own, other) is True
+        assert ev('Arch == "x86"', own) is True
+        assert ev("my.Memory > 1000", own) is True
+
+    def test_undefined_semantics(self):
+        assert ev("Missing > 5") is False
+        assert ev("UNDEFINED == 1") is False
+        assert ev("!Missing") is False
+
+    @pytest.mark.parametrize("bad", ["2 +", "&& true", "(1", "1 @ 2", '"unterminated'])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ClassAdError):
+            parse_expression(bad)
+
+    def test_eval_errors(self):
+        with pytest.raises(ClassAdError):
+            ev('1 + "x"')
+        with pytest.raises(ClassAdError):
+            ev("1 / 0")
+        with pytest.raises(ClassAdError):
+            ev('2 < "a"')
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_comparison_property(self, a, b):
+        assert ev(f"{a} < {b}") == (a < b)
+        assert ev(f"{a} + {b}") == a + b
+
+
+class TestClassAd:
+    def job_ad(self, memory=512) -> ClassAd:
+        return ClassAd(
+            attributes={"RequestMemory": memory, "Owner": "nvo"},
+            requirements='other.Arch == "x86" && other.Memory >= RequestMemory',
+            rank="other.Mips",
+        )
+
+    def machine_ad(self, memory=2048, mips=100, arch="x86") -> ClassAd:
+        return ClassAd(
+            attributes={"Memory": memory, "Mips": mips, "Arch": arch},
+            requirements='other.Owner != "intruder"',
+            rank="0",
+        )
+
+    def test_mutual_acceptance(self):
+        assert self.job_ad().accepts(self.machine_ad())
+        assert self.machine_ad().accepts(self.job_ad())
+
+    def test_requirement_rejection(self):
+        assert not self.job_ad(memory=4096).accepts(self.machine_ad(memory=2048))
+        assert not self.job_ad().accepts(self.machine_ad(arch="sparc"))
+
+    def test_rank(self):
+        assert self.job_ad().rank_of(self.machine_ad(mips=250)) == 250.0
+
+    def test_non_numeric_rank_rejected(self):
+        ad = ClassAd(rank='"fast"')
+        with pytest.raises(ClassAdError):
+            ad.rank_of(ClassAd())
+
+
+class TestMatchmaker:
+    def test_best_rank_wins(self):
+        job = ClassAd(
+            attributes={"RequestMemory": 256},
+            requirements="other.Memory >= RequestMemory",
+            rank="other.Mips",
+        )
+        slow = ClassAd(attributes={"Memory": 1024, "Mips": 50, "name": "slow"})
+        fast = ClassAd(attributes={"Memory": 1024, "Mips": 300, "name": "fast"})
+        match = Matchmaker().match(job, [slow, fast])
+        assert match is fast
+
+    def test_infeasible_returns_none(self):
+        job = ClassAd(requirements="other.Memory >= 9999")
+        assert Matchmaker().match(job, [ClassAd(attributes={"Memory": 10})]) is None
+
+    def test_machine_requirements_respected(self):
+        job = ClassAd(attributes={"Owner": "intruder"})
+        machine = ClassAd(
+            attributes={"Memory": 10_000},
+            requirements='other.Owner != "intruder"',
+        )
+        assert Matchmaker().match(job, [machine]) is None
+
+    def test_match_all_claims_machines(self):
+        jobs = [ClassAd(rank="other.Mips") for _ in range(3)]
+        machines = [
+            ClassAd(attributes={"Mips": 300}),
+            ClassAd(attributes={"Mips": 200}),
+        ]
+        pairs = Matchmaker().match_all(jobs, machines)
+        matched = [machine for _, machine in pairs if machine is not None]
+        assert len(matched) == 2
+        assert matched[0].attributes["Mips"] == 300
+        assert matched[1].attributes["Mips"] == 200
+        assert pairs[2][1] is None  # no machine left
+
+    def test_machine_rank_breaks_ties(self):
+        job = ClassAd()
+        eager = ClassAd(attributes={"name": "eager"}, rank="10")
+        neutral = ClassAd(attributes={"name": "neutral"}, rank="0")
+        assert Matchmaker().match(job, [neutral, eager]) is eager

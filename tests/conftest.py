@@ -1,0 +1,49 @@
+"""Shared fixtures: a small cluster, a tiny wired grid, hypothesis config."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.catalog.coords import SkyPosition
+from repro.sky.cluster import ClusterModel
+
+# A single profile tuned for CI-ish determinism: no deadline (image work can
+# be slow on shared machines), modest example counts.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture()
+def small_cluster() -> ClusterModel:
+    """A 24-member cluster: big enough for statistics, fast to render."""
+    return ClusterModel(
+        name="TEST01",
+        center=SkyPosition(150.0, 2.2),
+        redshift=0.05,
+        n_galaxies=24,
+        core_radius_deg=0.04,
+        tidal_radius_deg=0.4,
+        seed=42,
+        context_image_count=9,
+    )
+
+
+@pytest.fixture()
+def tiny_cluster() -> ClusterModel:
+    """An 8-member cluster for fast end-to-end runs."""
+    return ClusterModel(
+        name="TEST02",
+        center=SkyPosition(30.0, -10.0),
+        redshift=0.03,
+        n_galaxies=8,
+        core_radius_deg=0.03,
+        tidal_radius_deg=0.3,
+        seed=7,
+        context_image_count=5,
+    )

@@ -1,0 +1,99 @@
+"""Tests for FITS card formatting/parsing, including property round-trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fits.cards import CARD_LENGTH, Card, format_card, parse_card
+
+keywords = st.from_regex(r"[A-Z][A-Z0-9_-]{0,7}", fullmatch=True)
+# printable ASCII without quotes-edge-cases handled separately
+string_values = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=40,
+)
+
+
+class TestFormatCard:
+    def test_fixed_length(self):
+        assert len(format_card(Card("NAXIS", 2))) == CARD_LENGTH
+
+    def test_integer_alignment(self):
+        record = format_card(Card("BITPIX", -32))
+        assert record[8:10] == "= "
+        assert record[:30].endswith("-32")
+
+    def test_logical(self):
+        assert format_card(Card("SIMPLE", True, "ok"))[29] == "T"
+        assert format_card(Card("EXTEND", False))[29] == "F"
+
+    def test_string_quoting(self):
+        record = format_card(Card("OBJECT", "M31"))
+        assert record[10] == "'"
+
+    def test_comment_included(self):
+        assert "/ a comment" in format_card(Card("NAXIS", 2, "a comment"))
+
+    def test_commentary_card(self):
+        record = format_card(Card("HISTORY", None, "made by tests"))
+        assert record.startswith("HISTORY made by tests")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            format_card(Card("OBJECT", "x" * 75))
+
+    def test_keyword_validation(self):
+        with pytest.raises(ValueError):
+            Card("TOOLONGKEY", 1)
+        with pytest.raises(ValueError):
+            Card("lower", 1)
+        with pytest.raises(ValueError):
+            Card("BAD KEY", 1)
+
+
+class TestParseCard:
+    def test_undefined_value(self):
+        card = parse_card("UNDEF   =")
+        assert card.value is None
+
+    def test_string_with_doubled_quote(self):
+        card = parse_card(format_card(Card("NAME", "O'Neil")))
+        assert card.value == "O'Neil"
+
+    def test_rejects_overlong_record(self):
+        with pytest.raises(ValueError):
+            parse_card("X" * 81)
+
+    def test_float_with_comment(self):
+        card = parse_card("CRVAL1  =     150.00000000 / [deg] RA")
+        assert card.value == pytest.approx(150.0)
+        assert card.comment == "[deg] RA"
+
+
+class TestRoundTrip:
+    @given(keywords, st.integers(-(10**15), 10**15))
+    def test_int_roundtrip(self, keyword, value):
+        card = Card(keyword, value)
+        assert parse_card(format_card(card)).value == value
+
+    @given(keywords, st.floats(allow_nan=False, allow_infinity=False, width=64))
+    def test_float_roundtrip(self, keyword, value):
+        parsed = parse_card(format_card(Card(keyword, value)))
+        assert parsed.value == pytest.approx(value, rel=1e-13, abs=1e-300)
+
+    @given(keywords, st.booleans())
+    def test_bool_roundtrip(self, keyword, value):
+        assert parse_card(format_card(Card(keyword, value))).value is value
+
+    @given(keywords, string_values)
+    def test_string_roundtrip(self, keyword, value):
+        card = Card(keyword, value)
+        try:
+            record = format_card(card)
+        except ValueError:
+            return  # value legitimately too long for one card
+        parsed = parse_card(record)
+        # FITS cannot represent trailing blanks in strings
+        assert parsed.value == value.rstrip()

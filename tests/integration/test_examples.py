@@ -1,0 +1,62 @@
+"""Every shipped example must run green — they are part of the API surface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "CATALOG OF PIXELS OF THE NIGHT SKY" in result.stdout
+        assert "second request: 0 jobs" in result.stdout
+
+    def test_portal_session(self):
+        result = run_example("portal_session.py", "A3526")
+        assert result.returncode == 0, result.stderr
+        assert "matched galaxies: 37" in result.stdout
+        assert "merged rows: 37" in result.stdout
+
+    def test_campaign_single_cluster(self):
+        result = run_example("galaxy_morphology_campaign.py", "A3526")
+        assert result.returncode == 0, result.stderr
+        assert "clusters analyzed" in result.stdout
+
+    def test_dressler(self):
+        result = run_example("dressler_relation.py", "A3526")
+        assert result.returncode == 0, result.stderr
+        assert "density-morphology relation rediscovered" in result.stdout
+        assert "DS test" in result.stdout
+
+    def test_virtual_data_reuse(self):
+        result = run_example("virtual_data_reuse.py")
+        assert result.returncode == 0, result.stderr
+        assert "pruned jobs: ['d1']" in result.stdout
+        assert "short-circuited=True" in result.stdout
+
+    def test_service_discovery(self):
+        result = run_example("service_discovery.py")
+        assert result.returncode == 0, result.stderr
+        assert "answered by ivo://mirror/dss" in result.stdout
+
+    def test_grid_tuning(self):
+        result = run_example("grid_tuning.py")
+        assert result.returncode == 0, result.stderr
+        assert "MDS-aware placement" in result.stdout
+        assert "clustering sweep" in result.stdout

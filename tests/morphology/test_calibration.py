@@ -1,0 +1,114 @@
+"""Measurement calibration: known inputs, recovered parameters.
+
+These tests treat the morphology pipeline as an instrument and calibrate
+it against images with *known* structural parameters across the S/N range
+the campaign actually sees — the quantitative grounding behind the Figure 7
+claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.morphology.measures import asymmetry_index, concentration_index
+from repro.morphology.petrosian import petrosian_radius
+from repro.morphology.pipeline import galmorph
+from repro.fits.hdu import ImageHDU
+from repro.fits.header import Header
+from repro.sky.profiles import pixel_integrated_sersic
+
+
+def observed_sersic(n, r_e=6.0, flux=2e4, sky=5.0, noise=1.0, size=65, seed=0, psf=1.2):
+    c = (size - 1) / 2.0
+    img = pixel_integrated_sersic((size, size), (c, c), r_e, n, total_flux=flux)
+    img = ndimage.gaussian_filter(img, psf, mode="constant")
+    rng = np.random.default_rng(seed)
+    return (img + sky + rng.normal(0, noise, img.shape)).astype(np.float32)
+
+
+def measure(img, galaxy_id="cal"):
+    header = Header()
+    header.set("OBJECT", galaxy_id)
+    return galmorph(ImageHDU(img, header), redshift=0.05, pix_scale=0.4 / 3600.0)
+
+
+class TestConcentrationCalibration:
+    @pytest.mark.parametrize("n,c_lo,c_hi", [(1.0, 2.1, 3.0), (2.5, 2.8, 3.8), (4.0, 3.1, 4.4)])
+    def test_sersic_index_maps_to_concentration(self, n, c_lo, c_hi):
+        result = measure(observed_sersic(n))
+        assert result.valid
+        assert c_lo < result.concentration < c_hi
+
+    def test_separates_disks_from_spheroids(self):
+        """Within the Petrosian-limited aperture the index separates n=1
+        disks cleanly from n>=2 spheroids; above n~2 it saturates (the
+        known behaviour of aperture-limited concentration measures)."""
+        values = {n: measure(observed_sersic(n)).concentration for n in (1.0, 2.0, 3.0, 4.0)}
+        assert values[2.0] > values[1.0] + 0.5
+        for n in (2.0, 3.0, 4.0):
+            assert values[n] > 3.0
+            assert abs(values[n] - values[2.0]) < 0.2  # saturation plateau
+
+    def test_stable_across_noise_realisations(self):
+        values = [measure(observed_sersic(2.0, seed=s)).concentration for s in range(5)]
+        assert np.std(values) < 0.15
+
+
+class TestAsymmetryCalibration:
+    def test_zero_for_clean_symmetric(self):
+        result = measure(observed_sersic(1.0, noise=0.3))
+        assert result.asymmetry < 0.03
+
+    def test_recovers_injected_clump_flux(self):
+        """A increases monotonically with the injected asymmetric flux."""
+        measured = []
+        for clump_fraction in (0.0, 0.1, 0.25, 0.5):
+            img = observed_sersic(1.0, noise=0.3)
+            if clump_fraction > 0:
+                yy, xx = np.indices(img.shape, dtype=float)
+                blob = np.exp(-((xx - 44) ** 2 + (yy - 36) ** 2) / (2 * 2.0**2))
+                img = img + (clump_fraction * 2e4 / blob.sum() * blob).astype(np.float32)
+            measured.append(measure(img).asymmetry)
+        assert measured == sorted(measured)
+        assert measured[-1] > 0.15
+
+    def test_noise_correction_keeps_bias_small(self):
+        """For a symmetric galaxy the noise-corrected A stays near zero even
+        at low S/N (the correction removes the noise floor)."""
+        low_snr = observed_sersic(1.0, flux=4e3, noise=2.0, seed=3)
+        result = measure(low_snr)
+        assert result.valid
+        assert result.asymmetry < 0.12
+
+
+class TestPetrosianCalibration:
+    def test_radius_tracks_r_e(self):
+        ratios = []
+        for r_e in (4.0, 6.0, 8.0):
+            img = observed_sersic(1.0, r_e=r_e, size=97) - 5.0
+            r_p = petrosian_radius(img, (48.0, 48.0))
+            ratios.append(r_p / r_e)
+        # the exponential-disk ratio ~2.2, stable across sizes
+        assert all(1.9 < r < 2.5 for r in ratios)
+        assert np.std(ratios) < 0.15
+
+
+class TestSnrLimits:
+    def test_bright_end_always_valid(self):
+        for seed in range(5):
+            assert measure(observed_sersic(2.0, flux=5e4, seed=seed)).valid
+
+    def test_faint_end_flagged_not_crashed(self):
+        results = [measure(observed_sersic(2.0, flux=50.0, seed=s)) for s in range(5)]
+        assert all(r.error or r.valid for r in results)
+        assert any(not r.valid for r in results)
+
+    def test_measured_values_degrade_gracefully(self):
+        """Low-S/N measurements stay within a factor ~2 of the bright-end
+        values rather than diverging."""
+        bright = measure(observed_sersic(4.0, flux=1e5, seed=1))
+        faint = measure(observed_sersic(4.0, flux=8e3, seed=1))
+        assert bright.valid and faint.valid
+        assert faint.concentration == pytest.approx(bright.concentration, rel=0.5)

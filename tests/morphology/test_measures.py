@@ -1,0 +1,185 @@
+"""Tests for the three morphology parameters and their building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morphology.background import estimate_background
+from repro.morphology.measures import (
+    asymmetry_index,
+    average_surface_brightness,
+    concentration_index,
+    curve_of_growth_radii,
+)
+from repro.morphology.segmentation import central_source_mask, source_centroid
+from repro.sky.profiles import pixel_integrated_sersic
+
+
+def sersic_image(n=1.0, size=65, r_e=6.0, flux=1e4, noise=0.0, seed=0, psf_sigma=1.2):
+    """A pixel-integrated, PSF-convolved Sersic test image.
+
+    Both steps matter: pixel-centre sampling of a cuspy n=4 profile puts
+    most of its flux into the singular central pixel, which no real image
+    does.
+    """
+    from scipy import ndimage as ndi
+
+    c = (size - 1) / 2.0
+    img = pixel_integrated_sersic((size, size), (c, c), r_e, n, total_flux=flux)
+    if psf_sigma > 0:
+        img = ndi.gaussian_filter(img, psf_sigma, mode="constant")
+    if noise > 0:
+        img = img + np.random.default_rng(seed).normal(0, noise, img.shape)
+    return img
+
+
+class TestBackground:
+    def test_flat_image(self):
+        img = np.full((32, 32), 7.0)
+        bg = estimate_background(img)
+        assert bg.level == pytest.approx(7.0)
+        assert bg.sigma == pytest.approx(0.0)
+
+    def test_recovers_noisy_sky(self):
+        rng = np.random.default_rng(3)
+        img = rng.normal(5.0, 1.0, (64, 64))
+        bg = estimate_background(img)
+        assert bg.level == pytest.approx(5.0, abs=0.15)
+        assert bg.sigma == pytest.approx(1.0, abs=0.2)
+
+    def test_source_does_not_bias_border(self):
+        img = np.random.default_rng(0).normal(5.0, 0.5, (64, 64))
+        img[24:40, 24:40] += 100.0  # central source far from border
+        bg = estimate_background(img)
+        assert bg.level == pytest.approx(5.0, abs=0.2)
+
+    def test_clips_border_outliers(self):
+        img = np.random.default_rng(1).normal(5.0, 0.5, (64, 64))
+        img[0, 0:6] = 500.0  # a bright star on the border
+        assert estimate_background(img).level == pytest.approx(5.0, abs=0.2)
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError):
+            estimate_background(np.zeros((1, 1)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_background(np.zeros(10))
+
+
+class TestSegmentation:
+    def test_detects_central_source(self):
+        img = sersic_image(noise=1.0) + 5.0
+        mask = central_source_mask(img)
+        assert mask[32, 32]
+        assert mask.sum() > 10
+
+    def test_empty_image_gives_empty_mask(self):
+        img = np.random.default_rng(0).normal(5.0, 1.0, (64, 64))
+        mask = central_source_mask(img, threshold_sigma=6.0)
+        assert not mask.any()
+
+    def test_off_center_source_found(self):
+        img = np.random.default_rng(0).normal(0.0, 0.1, (64, 64))
+        img[40:44, 40:44] = 50.0
+        mask = central_source_mask(img)
+        assert mask[41, 41]
+
+    def test_centroid(self):
+        img = np.zeros((32, 32))
+        img[10, 20] = 5.0
+        mask = img > 0
+        cy, cx = source_centroid(img, mask)
+        assert (cy, cx) == (10.0, 20.0)
+
+    def test_centroid_empty_mask(self):
+        with pytest.raises(ValueError):
+            source_centroid(np.ones((8, 8)), np.zeros((8, 8), dtype=bool))
+
+
+class TestCurveOfGrowth:
+    def test_fractions_ordered(self):
+        img = sersic_image(n=1.0)
+        r20, r50, r80 = curve_of_growth_radii(img, (32.0, 32.0), 30.0, (0.2, 0.5, 0.8))
+        assert r20 < r50 < r80
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            curve_of_growth_radii(sersic_image(), (32.0, 32.0), 30.0, (1.5,))
+
+    def test_zero_flux(self):
+        with pytest.raises(ValueError):
+            curve_of_growth_radii(np.zeros((33, 33)), (16.0, 16.0), 10.0)
+
+
+class TestConcentration:
+    def test_n4_more_concentrated_than_n1(self):
+        c4 = concentration_index(sersic_image(n=4.0), (32.0, 32.0), 30.0)
+        c1 = concentration_index(sersic_image(n=1.0), (32.0, 32.0), 30.0)
+        assert c4 > c1 + 0.5
+
+    def test_exponential_reference_value(self):
+        # analytic C for a pure exponential disk is ~2.7; measurement on a
+        # finite aperture comes in close
+        c1 = concentration_index(sersic_image(n=1.0, size=129, r_e=8.0), (64.0, 64.0), 60.0)
+        assert c1 == pytest.approx(2.7, abs=0.35)
+
+
+class TestAsymmetry:
+    def test_symmetric_image_near_zero(self):
+        img = sersic_image(n=2.0)
+        a = asymmetry_index(img, (32.0, 32.0), 20.0)
+        assert a < 0.01
+
+    def test_lopsided_image_positive(self):
+        img = sersic_image(n=1.0)
+        img[20:30, 40:52] += img.max() * 0.3  # a bright clump
+        a = asymmetry_index(img, (32.0, 32.0), 25.0)
+        assert a > 0.05
+
+    def test_noise_correction_reduces_a(self):
+        img = sersic_image(n=1.0, noise=0.5, seed=5)
+        raw = asymmetry_index(img, (32.0, 32.0), 20.0, background_sigma=0.0)
+        corrected = asymmetry_index(img, (32.0, 32.0), 20.0, background_sigma=0.5)
+        assert corrected < raw
+
+    def test_never_negative(self):
+        img = sersic_image(n=2.0, noise=1.0, seed=9)
+        a = asymmetry_index(img, (32.0, 32.0), 15.0, background_sigma=1.0)
+        assert a >= 0.0
+
+    def test_empty_aperture(self):
+        with pytest.raises(ValueError):
+            asymmetry_index(np.zeros((33, 33)), (16.0, 16.0), 8.0)
+
+    @given(st.floats(1.0, 4.0), st.floats(3.0, 8.0))
+    def test_clean_sersic_always_small(self, n, r_e):
+        img = sersic_image(n=n, r_e=r_e)
+        a = asymmetry_index(img, (32.0, 32.0), 22.0)
+        assert 0.0 <= a < 0.05
+
+
+class TestSurfaceBrightness:
+    def test_magnitude_scale(self):
+        img = sersic_image(flux=1e4)
+        mu1 = average_surface_brightness(img, (32.0, 32.0), 15.0, 0.4, zero_point=25.0)
+        img_bright = sersic_image(flux=1e5)
+        mu2 = average_surface_brightness(img_bright, (32.0, 32.0), 15.0, 0.4, zero_point=25.0)
+        assert mu1 - mu2 == pytest.approx(2.5, abs=0.01)  # 10x flux = 2.5 mag
+
+    def test_zero_point_offset(self):
+        img = sersic_image()
+        mu0 = average_surface_brightness(img, (32.0, 32.0), 15.0, 0.4, zero_point=0.0)
+        mu25 = average_surface_brightness(img, (32.0, 32.0), 15.0, 0.4, zero_point=25.0)
+        assert mu25 - mu0 == pytest.approx(25.0)
+
+    def test_bad_pixel_scale(self):
+        with pytest.raises(ValueError):
+            average_surface_brightness(sersic_image(), (32.0, 32.0), 10.0, 0.0)
+
+    def test_negative_flux_rejected(self):
+        with pytest.raises(ValueError):
+            average_surface_brightness(-sersic_image(), (32.0, 32.0), 10.0, 0.4)

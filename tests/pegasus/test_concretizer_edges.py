@@ -1,0 +1,111 @@
+"""Edge-case tests for the concretizer's policies and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PlanningError
+from repro.pegasus.concretizer import Concretizer, default_pfn_resolver
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.site_selector import RoundRobinSiteSelector
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+
+def make_parts(replica_sites=("A",)):
+    rls = ReplicaLocationService()
+    for site in ("A", "B", "C", "U"):
+        rls.add_site(site)
+    for site in replica_sites:
+        rls.register("a", f"gsiftp://{site}.grid/data/a", site)
+    tc = TransformationCatalog()
+    tc.install("t", "B", "/bin/t")
+    return rls, tc
+
+
+def concretizer(rls, tc, **options):
+    defaults = dict(output_site="U", site_selection="round-robin", replica_selection="first")
+    defaults.update(options)
+    return Concretizer(
+        rls=rls,
+        tc=tc,
+        options=PlannerOptions(**defaults),
+        site_selector=RoundRobinSiteSelector(),
+    )
+
+
+def one_job_workflow():
+    return AbstractWorkflow([AbstractJob("j", "t", ("a",), ("b",))])
+
+
+class TestReplicaSelection:
+    def test_first_policy_deterministic(self):
+        rls, tc = make_parts(replica_sites=("A", "C"))
+        conc = concretizer(rls, tc, replica_selection="first")
+        cw = conc.concretize(one_job_workflow())
+        (stage_in,) = cw.transfer_nodes()[0:1]
+        assert stage_in.source_site == "A"  # sorted order
+
+    def test_random_policy_stays_within_replicas(self):
+        rls, tc = make_parts(replica_sites=("A", "C"))
+        sources = set()
+        for seed in range(8):
+            conc = concretizer(rls, tc, replica_selection="random", seed=seed)
+            cw = conc.concretize(one_job_workflow())
+            stage_ins = [t for t in cw.transfer_nodes() if t.lfn == "a"]
+            sources.add(stage_ins[0].source_site)
+        assert sources <= {"A", "C"}
+        assert len(sources) == 2  # both replicas get used across seeds
+
+    def test_unknown_policy_rejected(self):
+        rls, tc = make_parts()
+        conc = concretizer(rls, tc, replica_selection="closest")
+        with pytest.raises(PlanningError):
+            conc.concretize(one_job_workflow())
+
+    def test_local_replica_preferred_over_policy(self):
+        rls, tc = make_parts(replica_sites=("A", "B"))  # B is the exec site
+        conc = concretizer(rls, tc, replica_selection="first")
+        cw = conc.concretize(one_job_workflow())
+        assert [t for t in cw.transfer_nodes() if t.lfn == "a"] == []
+
+
+class TestPfnResolver:
+    def test_default_scheme(self):
+        assert default_pfn_resolver("isi", "x.fit") == "gsiftp://isi.grid/data/x.fit"
+
+    def test_custom_resolver_used_in_nodes(self):
+        rls, tc = make_parts()
+        conc = Concretizer(
+            rls=rls,
+            tc=tc,
+            options=PlannerOptions(output_site="U", replica_selection="first"),
+            site_selector=RoundRobinSiteSelector(),
+            pfn_resolver=lambda site, lfn: f"file:///{site}/{lfn}",
+        )
+        cw = conc.concretize(one_job_workflow())
+        stage_out = [t for t in cw.transfer_nodes() if t.lfn == "b"][0]
+        assert stage_out.dest_pfn == "file:///U/b"
+
+    def test_size_estimator_applied(self):
+        rls, tc = make_parts()
+        conc = Concretizer(
+            rls=rls,
+            tc=tc,
+            options=PlannerOptions(output_site=None, replica_selection="first"),
+            site_selector=RoundRobinSiteSelector(),
+            size_estimator=lambda lfn: 777,
+        )
+        cw = conc.concretize(one_job_workflow())
+        assert all(t.size_bytes == 777 for t in cw.transfer_nodes())
+
+
+class TestMissingReplica:
+    def test_no_replica_anywhere_is_planning_error(self):
+        rls, tc = make_parts(replica_sites=())
+        conc = concretizer(rls, tc)
+        from repro.core.errors import InfeasibleWorkflowError
+
+        with pytest.raises(InfeasibleWorkflowError):
+            conc.concretize(one_job_workflow())

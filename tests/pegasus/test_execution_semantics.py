@@ -1,0 +1,148 @@
+"""Execution-semantics property test for the concretizer.
+
+The strongest invariant a planner must satisfy: *walking the concrete
+workflow in any topological order, every node's data is where it needs to
+be when the node runs* — transfer sources exist, compute inputs are at the
+execution site, registrations point at files that exist.  We check it over
+randomly generated workflows, RLS states and planner policies.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pegasus.options import PlannerOptions
+from repro.pegasus.planner import PegasusPlanner
+from repro.rls.rls import ReplicaLocationService
+from repro.tc.catalog import TransformationCatalog
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+from repro.workflow.concrete import (
+    ComputeNode,
+    ConcreteWorkflow,
+    RegistrationNode,
+    TransferNode,
+)
+
+SITES = ["isi", "uwisc", "fnal"]
+STORE = "store"
+
+
+@st.composite
+def planning_scenarios(draw):
+    """A random layered workflow + RLS contents + planner policy."""
+    n_layers = draw(st.integers(1, 3))
+    jobs: list[AbstractJob] = []
+    raw_files = [f"raw{i}" for i in range(draw(st.integers(1, 3)))]
+    previous = list(raw_files)
+    all_products: list[str] = []
+    for layer in range(n_layers):
+        layer_outputs: list[str] = []
+        for j in range(draw(st.integers(1, 3))):
+            inputs = tuple(
+                draw(st.lists(st.sampled_from(previous), min_size=1, max_size=2, unique=True))
+            )
+            out = f"f{layer}_{j}"
+            jobs.append(
+                AbstractJob(f"job{layer}_{j}", f"t{draw(st.integers(0, 1))}", inputs, (out,))
+            )
+            layer_outputs.append(out)
+            all_products.append(out)
+        previous = layer_outputs
+    # materialise a random subset of intermediate products
+    cached = draw(st.lists(st.sampled_from(all_products), unique=True, max_size=len(all_products)))
+    policy = draw(st.sampled_from(["random", "round-robin"]))
+    output_site = draw(st.sampled_from([None, STORE]))
+    seed = draw(st.integers(0, 100))
+    return jobs, raw_files, cached, policy, output_site, seed
+
+
+def check_execution_semantics(cw: ConcreteWorkflow, rls: ReplicaLocationService) -> None:
+    """Walk the DAG; assert data locality at every step."""
+    # (site, lfn) pairs available before anything runs: RLS replicas
+    available: set[tuple[str, str]] = set()
+    for lfn in _all_lfns(cw):
+        for replica in rls.lookup(lfn):
+            available.add((replica.site, lfn))
+
+    for node_id in cw.dag.topological_order():
+        payload = cw.dag.payload(node_id)
+        if isinstance(payload, TransferNode):
+            assert (payload.source_site, payload.lfn) in available, (
+                f"transfer {node_id} sources {payload.lfn} from {payload.source_site} "
+                "where it does not exist"
+            )
+            available.add((payload.dest_site, payload.lfn))
+        elif isinstance(payload, ComputeNode):
+            for lfn in payload.job.inputs:
+                assert (payload.site, lfn) in available, (
+                    f"compute {node_id} at {payload.site} missing input {lfn}"
+                )
+            for lfn in payload.job.outputs:
+                available.add((payload.site, lfn))
+        elif isinstance(payload, RegistrationNode):
+            assert (payload.site, payload.lfn) in available, (
+                f"registration {node_id} publishes {payload.lfn}@{payload.site} "
+                "before the file exists there"
+            )
+
+
+def _all_lfns(cw: ConcreteWorkflow) -> set[str]:
+    lfns: set[str] = set()
+    for _, payload in cw.dag.payloads():
+        if isinstance(payload, TransferNode):
+            lfns.add(payload.lfn)
+        elif isinstance(payload, ComputeNode):
+            lfns.update(payload.job.inputs)
+            lfns.update(payload.job.outputs)
+        elif isinstance(payload, RegistrationNode):
+            lfns.add(payload.lfn)
+    return lfns
+
+
+class TestExecutionSemantics:
+    @given(planning_scenarios())
+    @settings(max_examples=60)
+    def test_planned_workflows_are_executable(self, scenario):
+        jobs, raw_files, cached, policy, output_site, seed = scenario
+        rls = ReplicaLocationService()
+        for site in (*SITES, STORE):
+            rls.add_site(site)
+        for lfn in raw_files:
+            rls.register(lfn, f"gsiftp://{STORE}.grid/data/{lfn}", STORE)
+        for lfn in cached:
+            rls.register(lfn, f"gsiftp://{STORE}.grid/data/{lfn}", STORE)
+        tc = TransformationCatalog()
+        for site in SITES:
+            tc.install("t0", site, "/bin/t0")
+        tc.install("t1", SITES[0], "/bin/t1")  # t1 only at one site
+
+        planner = PegasusPlanner(
+            rls,
+            tc,
+            PlannerOptions(
+                output_site=output_site,
+                site_selection=policy,
+                replica_selection="random",
+                seed=seed,
+            ),
+        )
+        plan = planner.plan(AbstractWorkflow(jobs))
+        check_execution_semantics(plan.concrete, rls)
+
+        # and the requested final products end where they were promised
+        requested = plan.abstract.final_products()
+        if output_site is not None:
+            # after the walk every requested file must exist at the output
+            # site or have been satisfied from the RLS there
+            available = {
+                (t.dest_site, t.lfn) for t in plan.concrete.transfer_nodes()
+            } | {
+                (n.site, lfn)
+                for n in plan.concrete.compute_nodes()
+                for lfn in n.job.outputs
+            } | {
+                (r.site, r.lfn) for lfn in requested for r in rls.lookup(lfn)
+            }
+            for lfn in requested:
+                assert (output_site, lfn) in available

@@ -1,0 +1,151 @@
+"""Tests for Abstract DAG Reduction, including the invariant property:
+reduction never removes a job whose output is still needed and absent."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pegasus.reduction import reduce_workflow
+from repro.rls.rls import ReplicaLocationService
+from repro.workflow.abstract import AbstractJob, AbstractWorkflow
+
+
+def make_rls(*lfns: str) -> ReplicaLocationService:
+    rls = ReplicaLocationService()
+    rls.add_site("store")
+    for lfn in lfns:
+        rls.register(lfn, f"gsiftp://store/{lfn}", "store")
+    return rls
+
+
+def chain_workflow() -> AbstractWorkflow:
+    return AbstractWorkflow(
+        [
+            AbstractJob("d1", "t1", inputs=("a",), outputs=("b",)),
+            AbstractJob("d2", "t2", inputs=("b",), outputs=("c",)),
+        ]
+    )
+
+
+class TestFigure3:
+    def test_nothing_materialised_keeps_all(self):
+        result = reduce_workflow(chain_workflow(), make_rls("a"))
+        assert {j.job_id for j in result.workflow.jobs()} == {"d1", "d2"}
+        assert result.pruned_jobs == ()
+
+    def test_intermediate_materialised_prunes_producer(self):
+        result = reduce_workflow(chain_workflow(), make_rls("a", "b"))
+        assert {j.job_id for j in result.workflow.jobs()} == {"d2"}
+        assert result.pruned_jobs == ("d1",)
+        assert result.reused_lfns == ("b",)
+
+    def test_final_materialised_prunes_everything(self):
+        result = reduce_workflow(chain_workflow(), make_rls("a", "c"))
+        assert result.fully_satisfied
+        assert set(result.pruned_jobs) == {"d1", "d2"}
+        assert result.reused_lfns == ("c",)
+
+    def test_requested_intermediate(self):
+        # requesting b with b materialised: nothing to run
+        result = reduce_workflow(chain_workflow(), make_rls("b"), requested_lfns=["b"])
+        assert result.fully_satisfied
+
+    def test_unknown_request_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_workflow(chain_workflow(), make_rls(), requested_lfns=["zzz"])
+
+
+class TestDiamond:
+    def diamond(self) -> AbstractWorkflow:
+        return AbstractWorkflow(
+            [
+                AbstractJob("left", "make", inputs=("src",), outputs=("L",)),
+                AbstractJob("right", "make", inputs=("src",), outputs=("R",)),
+                AbstractJob("merge", "join", inputs=("L", "R"), outputs=("final",)),
+            ]
+        )
+
+    def test_one_branch_materialised(self):
+        result = reduce_workflow(self.diamond(), make_rls("src", "L"))
+        assert {j.job_id for j in result.workflow.jobs()} == {"right", "merge"}
+        assert result.reused_lfns == ("L",)
+
+    def test_multi_output_job_partially_materialised(self):
+        wf = AbstractWorkflow(
+            [
+                AbstractJob("gen", "t", inputs=("src",), outputs=("x", "y")),
+                AbstractJob("use", "t2", inputs=("x", "y"), outputs=("final",)),
+            ]
+        )
+        # only x exists: gen must still run (y is needed and absent)
+        result = reduce_workflow(wf, make_rls("src", "x"))
+        assert {j.job_id for j in result.workflow.jobs()} == {"gen", "use"}
+
+
+@st.composite
+def random_workflow_and_materialised(draw):
+    """A random layered workflow plus a random set of materialised files."""
+    n_layers = draw(st.integers(1, 4))
+    jobs: list[AbstractJob] = []
+    previous_files = [f"raw{i}" for i in range(draw(st.integers(1, 3)))]
+    all_files = list(previous_files)
+    counter = 0
+    for layer in range(n_layers):
+        layer_files: list[str] = []
+        for j in range(draw(st.integers(1, 3))):
+            inputs = tuple(
+                draw(st.lists(st.sampled_from(previous_files), min_size=1, max_size=2, unique=True))
+            )
+            out = f"f{layer}_{j}"
+            counter += 1
+            jobs.append(AbstractJob(f"job{layer}_{j}", "t", inputs=inputs, outputs=(out,)))
+            layer_files.append(out)
+            all_files.append(out)
+        previous_files = layer_files
+    materialised = draw(st.lists(st.sampled_from(all_files), max_size=len(all_files), unique=True))
+    return AbstractWorkflow(jobs), set(materialised), {f for f in all_files if f.startswith("raw")}
+
+
+class TestReductionInvariants:
+    @given(random_workflow_and_materialised())
+    def test_every_needed_file_obtainable(self, case):
+        """After reduction every input of every kept job is either produced
+        by another kept job or exists in the RLS; requested products are
+        produced or reused."""
+        workflow, materialised, raw = case
+        rls = make_rls(*(materialised | raw))
+        requested = workflow.final_products()
+        result = reduce_workflow(workflow, rls, requested)
+        kept = result.workflow
+        kept_products = kept.products()
+        for job in kept.jobs():
+            for lfn in job.inputs:
+                assert lfn in kept_products or rls.exists(lfn), (
+                    f"input {lfn} of {job.job_id} neither produced nor materialised"
+                )
+        for lfn in requested:
+            assert lfn in kept_products or rls.exists(lfn)
+
+    @given(random_workflow_and_materialised())
+    def test_no_unnecessary_jobs(self, case):
+        """Every kept job's outputs feed (transitively) a requested file
+        that is not materialised."""
+        workflow, materialised, raw = case
+        rls = make_rls(*(materialised | raw))
+        result = reduce_workflow(workflow, rls)
+        kept = result.workflow
+        # any job whose every output is materialised should have been pruned
+        for job in kept.jobs():
+            assert not all(rls.exists(lfn) for lfn in job.outputs), (
+                f"job {job.job_id} kept although all outputs exist"
+            )
+
+    @given(random_workflow_and_materialised())
+    def test_monotone(self, case):
+        """Materialising more files never increases the kept-job count."""
+        workflow, materialised, raw = case
+        smaller = reduce_workflow(workflow, make_rls(*(materialised | raw)))
+        baseline = reduce_workflow(workflow, make_rls(*raw))
+        assert len(smaller.workflow) <= len(baseline.workflow)

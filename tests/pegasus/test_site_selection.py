@@ -1,0 +1,86 @@
+"""Tests for site-selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PlanningError
+from repro.pegasus.site_selector import (
+    LeastLoadedSiteSelector,
+    RandomSiteSelector,
+    RoundRobinSiteSelector,
+    make_site_selector,
+)
+
+SITES = ["isi", "uwisc", "fnal"]
+
+
+class TestRandom:
+    def test_choices_from_candidates(self):
+        selector = RandomSiteSelector(seed=1)
+        for i in range(50):
+            assert selector.choose(f"j{i}", SITES) in SITES
+
+    def test_seeded_reproducible(self):
+        a = [RandomSiteSelector(seed=5).choose(f"j{i}", SITES) for i in range(10)]
+        b = [RandomSiteSelector(seed=5).choose(f"j{i}", SITES) for i in range(10)]
+        # each selector re-created: same seed -> same first choice
+        assert a[0] == b[0]
+
+    def test_spreads_over_sites(self):
+        selector = RandomSiteSelector(seed=3)
+        chosen = {selector.choose(f"j{i}", SITES) for i in range(100)}
+        assert chosen == set(SITES)
+
+    def test_empty_candidates(self):
+        with pytest.raises(PlanningError):
+            RandomSiteSelector().choose("j", [])
+
+
+class TestRoundRobin:
+    def test_cycles_sorted(self):
+        selector = RoundRobinSiteSelector()
+        chosen = [selector.choose(f"j{i}", SITES) for i in range(6)]
+        assert chosen == ["fnal", "isi", "uwisc", "fnal", "isi", "uwisc"]
+
+    def test_counter_shared_across_candidate_sets(self):
+        selector = RoundRobinSiteSelector()
+        selector.choose("a", SITES)
+        assert selector.choose("b", ["only"]) == "only"
+        # counter advanced twice; next three-way pick continues the cycle
+        assert selector.choose("c", SITES) == "uwisc"
+
+
+class TestLeastLoaded:
+    def test_balances_by_capacity(self):
+        selector = LeastLoadedSiteSelector({"big": 30, "small": 10})
+        counts = {"big": 0, "small": 0}
+        for i in range(40):
+            counts[selector.choose(f"j{i}", ["big", "small"])] += 1
+        assert counts["big"] == 30 and counts["small"] == 10
+
+    def test_requires_capacities(self):
+        with pytest.raises(ValueError):
+            LeastLoadedSiteSelector({"x": 0})
+
+    def test_unknown_sites_rejected(self):
+        selector = LeastLoadedSiteSelector({"a": 1})
+        with pytest.raises(PlanningError):
+            selector.choose("j", ["b", "c"])
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_site_selector("random"), RandomSiteSelector)
+        assert isinstance(make_site_selector("round-robin"), RoundRobinSiteSelector)
+        assert isinstance(
+            make_site_selector("least-loaded", capacities={"a": 1}), LeastLoadedSiteSelector
+        )
+
+    def test_least_loaded_needs_capacities(self):
+        with pytest.raises(PlanningError):
+            make_site_selector("least-loaded")
+
+    def test_unknown_policy(self):
+        with pytest.raises(PlanningError):
+            make_site_selector("alphabetical")

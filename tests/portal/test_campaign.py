@@ -1,0 +1,79 @@
+"""Tests for the campaign driver and report aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.coords import SkyPosition
+from repro.portal.campaign import CampaignReport, ClusterRunRecord, run_campaign
+from repro.portal.demo import build_demo_environment
+from repro.sky.cluster import ClusterModel
+
+
+def cluster(name, n, ra=40.0):
+    return ClusterModel(
+        name=name,
+        center=SkyPosition(ra, 5.0),
+        redshift=0.05,
+        n_galaxies=n,
+        seed=9,
+        context_image_count=8,
+    )
+
+
+def record(name, galaxies=10, jobs=11, transfers=21) -> ClusterRunRecord:
+    return ClusterRunRecord(
+        cluster=name,
+        galaxies=galaxies,
+        compute_jobs=jobs,
+        transfers=transfers,
+        stage_in=galaxies,
+        inter_site=galaxies,
+        stage_out=1,
+        images=galaxies + 8,
+        image_bytes=galaxies * 20160,
+        valid_measurements=galaxies - 1,
+        jobs_per_site={"isi": jobs},
+        analysis=None,
+    )
+
+
+class TestCampaignReport:
+    def test_aggregation(self):
+        report = CampaignReport(records=[record("A", 10), record("B", 20, jobs=21, transfers=41)])
+        assert report.clusters == 2
+        assert report.galaxies == 30
+        assert report.compute_jobs == 32
+        assert report.transfers == 62
+        assert report.galaxy_range == (10, 20)
+        assert report.pools_used() == ["isi"]
+
+    def test_totals_table_mentions_paper_values(self):
+        report = CampaignReport(records=[record("A")])
+        table = report.totals_table()
+        assert "1152" in table and "2295" in table and "30.0 MB" in table
+
+
+class TestRunCampaign:
+    def test_subset_selection(self):
+        clusters = [cluster("CAMP-A", 8, ra=40.0), cluster("CAMP-B", 9, ra=80.0)]
+        env = build_demo_environment(clusters=clusters, seed_virtual_data_reuse=False)
+        report = run_campaign(env, cluster_names=["CAMP-B"], analyze=False)
+        assert report.clusters == 1
+        assert report.records[0].cluster == "CAMP-B"
+        assert report.records[0].galaxies == 9
+
+    def test_analysis_skipped_for_tiny_clusters(self):
+        # below the 8-valid-row minimum the Dressler statistics are skipped
+        env = build_demo_environment(clusters=[cluster("CAMP-C", 6)], seed_virtual_data_reuse=False)
+        report = run_campaign(env, analyze=True)
+        assert report.records[0].analysis is None  # too few valid rows
+
+    def test_per_cluster_accounting_consistent(self):
+        env = build_demo_environment(clusters=[cluster("CAMP-D", 12)], seed_virtual_data_reuse=False)
+        report = run_campaign(env, analyze=False)
+        r = report.records[0]
+        assert r.compute_jobs == r.galaxies + 1
+        assert r.transfers == r.stage_in + r.inter_site + r.stage_out
+        assert r.images == r.galaxies + 8
+        assert r.image_bytes > 0

@@ -1,0 +1,148 @@
+"""Tests for cluster dynamics: dispersion estimators and the DS test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.portal.dynamics import (
+    analyze_dynamics,
+    biweight_location,
+    dressler_shectman_test,
+    gapper_dispersion,
+)
+from repro.votable.model import Field, VOTable
+
+
+class TestGapper:
+    def test_gaussian_recovery(self):
+        rng = np.random.default_rng(1)
+        v = rng.normal(0.0, 800.0, 400)
+        assert gapper_dispersion(v) == pytest.approx(800.0, rel=0.1)
+
+    def test_small_sample(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(0.0, 500.0, 15)
+        assert gapper_dispersion(v) == pytest.approx(500.0, rel=0.4)
+
+    def test_outlier_resistant(self):
+        rng = np.random.default_rng(3)
+        v = rng.normal(0.0, 500.0, 50)
+        contaminated = np.append(v, [50_000.0])
+        plain_std = float(np.std(contaminated))
+        gapper = gapper_dispersion(contaminated)
+        assert gapper < plain_std / 2  # far less sensitive to the interloper
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            gapper_dispersion(np.array([1.0]))
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=40))
+    def test_nonnegative_and_shift_invariant(self, values):
+        v = np.array(values)
+        sigma = gapper_dispersion(v)
+        assert sigma >= 0.0
+        assert gapper_dispersion(v + 123.0) == pytest.approx(sigma, abs=1e-6)
+
+
+class TestBiweight:
+    def test_center_recovery(self):
+        rng = np.random.default_rng(4)
+        v = rng.normal(250.0, 100.0, 200)
+        assert biweight_location(v) == pytest.approx(250.0, abs=25.0)
+
+    def test_robust_to_outliers(self):
+        v = np.append(np.random.default_rng(5).normal(0.0, 10.0, 50), [1e6])
+        assert abs(biweight_location(v)) < 20.0
+
+    def test_constant_sample(self):
+        assert biweight_location(np.full(10, 7.0)) == 7.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            biweight_location(np.array([]))
+
+
+def relaxed_cluster(n=80, seed=1):
+    """Positions and velocities with no position-velocity correlation.
+
+    (Seed chosen away from the inevitable ~5% of null samples whose DS
+    p-value dips below 0.05 — p is uniform under the null.)
+    """
+    rng = np.random.default_rng(seed)
+    ra = 150.0 + rng.normal(0, 0.1, n)
+    dec = 2.0 + rng.normal(0, 0.1, n)
+    velocity = rng.normal(0.0, 800.0, n)
+    return ra, dec, velocity
+
+
+def merging_cluster(n=80, seed=0):
+    """Two kinematically distinct subclumps: strong substructure."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    ra = np.concatenate([150.0 + rng.normal(0, 0.03, half), 150.25 + rng.normal(0, 0.03, n - half)])
+    dec = np.concatenate([2.0 + rng.normal(0, 0.03, half), 2.25 + rng.normal(0, 0.03, n - half)])
+    velocity = np.concatenate(
+        [rng.normal(-900.0, 300.0, half), rng.normal(+900.0, 300.0, n - half)]
+    )
+    return ra, dec, velocity
+
+
+class TestDresslerShectman:
+    def test_relaxed_cluster_not_flagged(self):
+        ra, dec, velocity = relaxed_cluster()
+        result = dressler_shectman_test(ra, dec, velocity, n_shuffles=200)
+        assert not result.has_substructure
+        assert result.p_value > 0.05
+
+    def test_merging_cluster_flagged(self):
+        ra, dec, velocity = merging_cluster()
+        result = dressler_shectman_test(ra, dec, velocity, n_shuffles=200)
+        assert result.has_substructure
+        assert result.p_value < 0.02
+        assert result.big_delta / result.n_galaxies > 1.2
+
+    def test_default_neighbor_count(self):
+        ra, dec, velocity = relaxed_cluster(n=64)
+        result = dressler_shectman_test(ra, dec, velocity, n_shuffles=50)
+        assert result.n_neighbors == 8  # sqrt(64)
+
+    def test_validation(self):
+        ra, dec, velocity = relaxed_cluster(n=12)
+        with pytest.raises(ValueError):
+            dressler_shectman_test(ra[:5], dec[:5], velocity[:5])
+        with pytest.raises(ValueError):
+            dressler_shectman_test(ra, dec, velocity[:-1])
+        with pytest.raises(ValueError):
+            dressler_shectman_test(ra, dec, velocity, n_neighbors=12)
+
+    def test_deterministic_given_seed(self):
+        ra, dec, velocity = relaxed_cluster()
+        a = dressler_shectman_test(ra, dec, velocity, n_shuffles=50, seed=9)
+        b = dressler_shectman_test(ra, dec, velocity, n_shuffles=50, seed=9)
+        assert a.p_value == b.p_value
+        assert a.delta == b.delta
+
+
+class TestAnalyzeDynamics:
+    def test_on_portal_catalog(self, small_cluster):
+        from repro.portal.demo import build_demo_environment
+
+        env = build_demo_environment(clusters=[small_cluster], seed_virtual_data_reuse=False)
+        session = env.portal.run_analysis(small_cluster.name)
+        state = analyze_dynamics(session.merged, small_cluster, n_shuffles=100)
+        assert state.n_members == small_cluster.n_galaxies
+        # synthesis drew velocities at sigma = 900 km/s
+        assert state.velocity_dispersion_kms == pytest.approx(
+            small_cluster.velocity_dispersion_kms, rel=0.4
+        )
+        # members were placed with no position-velocity correlation
+        assert not state.ds.has_substructure
+        assert small_cluster.name in state.summary()
+
+    def test_missing_columns(self, small_cluster):
+        table = VOTable([Field("ra", "double")])
+        with pytest.raises(ValueError):
+            analyze_dynamics(table, small_cluster)

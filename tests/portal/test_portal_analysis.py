@@ -1,0 +1,172 @@
+"""Tests for the portal flow (Figure 5), analysis (Figure 7) and ASCII viz."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.portal.analysis import analyze_morphology_catalog
+from repro.portal.demo import build_demo_environment
+from repro.portal.visualize import ascii_histogram, ascii_overlay, ascii_scatter
+from repro.votable.model import Field, VOTable
+
+
+@pytest.fixture(scope="module")
+def env_session(small_cluster_module):
+    env = build_demo_environment(clusters=[small_cluster_module], seed_virtual_data_reuse=False)
+    session = env.portal.run_analysis(small_cluster_module.name)
+    return env, session
+
+
+@pytest.fixture(scope="module")
+def small_cluster_module():
+    from repro.catalog.coords import SkyPosition
+    from repro.sky.cluster import ClusterModel
+
+    return ClusterModel(
+        name="TESTM",
+        center=SkyPosition(150.0, 2.2),
+        redshift=0.05,
+        n_galaxies=30,
+        core_radius_deg=0.04,
+        tidal_radius_deg=0.4,
+        seed=42,
+        context_image_count=9,
+    )
+
+
+class TestPortalFlow:
+    def test_list_clusters(self, env_session):
+        env, _ = env_session
+        assert env.portal.list_clusters() == ["TESTM"]
+
+    def test_unknown_cluster(self, env_session):
+        env, _ = env_session
+        with pytest.raises(ServiceError):
+            env.portal.select_cluster("NOPE")
+
+    def test_context_images_found(self, env_session):
+        _, session = env_session
+        assert session.n_context_images == 9  # configured split across archives
+        assert session.context_image_bytes > 0
+
+    def test_catalog_built_from_both_services(self, env_session):
+        _, session = env_session
+        assert session.catalog is not None
+        assert len(session.catalog) == 30
+        # joined schema carries photometry AND spectroscopy columns
+        assert {"mag_r", "redshift", "velocity"} <= set(session.catalog.field_names())
+
+    def test_cutout_references_resolved(self, env_session):
+        _, session = env_session
+        assert session.input_votable is not None
+        assert all(row["cutout_url"].startswith("http://cutout.synth") for row in session.input_votable)
+
+    def test_results_merged(self, env_session):
+        _, session = env_session
+        merged = session.merged
+        assert merged is not None
+        assert len(merged) == 30
+        assert {"asymmetry", "concentration", "valid"} <= set(merged.field_names())
+
+    def test_figure5_event_order(self, env_session):
+        env, _ = env_session
+        kinds = env.events.kinds()
+        expected = [
+            "cluster-selected",
+            "context-images-found",
+            "catalog-built",
+            "cutouts-resolved",
+            "compute-submitted",
+            "results-received",
+            "results-merged",
+        ]
+        positions = [kinds.index(k) for k in expected]
+        assert positions == sorted(positions)
+
+    def test_portal_polls_status(self, env_session):
+        _, session = env_session
+        assert session.polls >= 1
+
+    def test_meter_recorded_protocol_costs(self, env_session):
+        env, _ = env_session
+        assert env.meter.count("sia-query") >= 30  # per-galaxy cutout queries
+        assert env.meter.count("sia-download") == 30
+        assert env.meter.count("cone-query") == 2
+
+
+class TestDresslerAnalysis:
+    def test_statistics(self, env_session):
+        _, session = env_session
+        analysis = analyze_morphology_catalog(session.merged, session.cluster)
+        assert analysis.n_galaxies == 30
+        assert 0 < analysis.n_valid <= 30
+        assert len(analysis.radial.early_fraction) == 4
+        assert -1.0 <= analysis.asymmetry_radius_spearman <= 1.0
+        text = analysis.summary()
+        assert "Spearman" in text and session.cluster.name in text
+
+    def test_too_few_valid_rows_rejected(self, small_cluster_module):
+        table = VOTable(
+            [
+                Field("ra", "double"),
+                Field("dec", "double"),
+                Field("valid", "boolean"),
+                Field("asymmetry", "double"),
+                Field("concentration", "double"),
+            ]
+        )
+        for i in range(4):
+            table.append([150.0 + i * 0.01, 2.0, True, 0.1, 3.0])
+        with pytest.raises(ValueError):
+            analyze_morphology_catalog(table, small_cluster_module)
+
+    def test_invalid_rows_excluded(self, env_session):
+        _, session = env_session
+        analysis = analyze_morphology_catalog(session.merged, session.cluster)
+        n_invalid = sum(1 for r in session.merged if not r["valid"])
+        assert analysis.n_valid == analysis.n_galaxies - n_invalid
+
+
+class TestVisualize:
+    def test_overlay_renders(self, env_session):
+        _, session = env_session
+        text = ascii_overlay(session.merged, session.cluster)
+        lines = text.splitlines()
+        assert len(lines) >= 28
+        assert session.cluster.name in text
+        # some galaxies plotted
+        assert any(mark in text for mark in "EeoxS")
+
+    def test_scatter(self):
+        rng = np.random.default_rng(0)
+        text = ascii_scatter(rng.random(50), rng.random(50), xlabel="radius", ylabel="A")
+        assert "radius" in text and "*" in text
+
+    def test_scatter_validates(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.array([]), np.array([]))
+
+    def test_histogram(self):
+        text = ascii_histogram(np.array([1.0, 1.1, 2.0, 5.0]), bins=4, label="asym")
+        assert "asym" in text and "#" in text
+
+    def test_histogram_empty(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]))
+
+
+class TestXrayAxis:
+    def test_xray_correlations_present_and_signed(self, env_session):
+        """§2's third axis: star formation indicators vs x-ray surface
+        brightness.  Bright x-ray = cluster core = symmetric early types."""
+        import numpy as np
+
+        _, session = env_session
+        analysis = analyze_morphology_catalog(session.merged, session.cluster)
+        assert np.isfinite(analysis.asymmetry_xray_spearman)
+        assert np.isfinite(analysis.early_xray_spearman)
+        # signs are anti-symmetric with the radius correlations
+        assert analysis.asymmetry_xray_spearman * analysis.asymmetry_radius_spearman <= 0
+        assert "x-ray SB" in analysis.summary()

@@ -1,0 +1,147 @@
+"""Tests for the compute web service (Figure 6 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.portal.demo import build_demo_environment
+from repro.portal.service import votable_to_url_list, votable_to_vdl
+from repro.vdl.parser import parse_vdl
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import parse_votable
+
+
+@pytest.fixture()
+def env(tiny_cluster):
+    return build_demo_environment(clusters=[tiny_cluster], seed_virtual_data_reuse=False)
+
+
+def input_votable(env, cluster):
+    session = env.portal.select_cluster(cluster.name)
+    env.portal.build_catalog(session)
+    return env.portal.resolve_cutouts(session)
+
+
+class TestStylesheets:
+    def test_url_list(self):
+        vot = VOTable([Field("id", "char"), Field("cutout_url", "char")])
+        vot.append(["g1", "http://c/1"])
+        vot.append(["g2", "http://c/2"])
+        assert votable_to_url_list(vot) == [("g1", "http://c/1"), ("g2", "http://c/2")]
+
+    def test_url_list_missing_fields(self):
+        with pytest.raises(ServiceError):
+            votable_to_url_list(VOTable([Field("id", "char")]))
+
+    def test_vdl_generation_parses_and_chains(self):
+        vot = VOTable(
+            [
+                Field("id", "char"),
+                Field("ra", "double"),
+                Field("dec", "double"),
+                Field("redshift", "double"),
+                Field("cutout_url", "char"),
+                Field("cutout_scale", "double"),
+            ]
+        )
+        vot.append(["g1", 1.0, 2.0, 0.05, "http://c/1", 1e-4])
+        vot.append(["g2", 1.1, 2.1, 0.05, "http://c/2", 1e-4])
+        text = votable_to_vdl(vot, "out.vot", "TESTC")
+        _, dvs = parse_vdl(text)
+        assert len(dvs) == 3  # 2 galMorph + 1 concat
+        concat = dvs[-1]
+        assert concat.output_files() == ("out.vot",)
+        assert set(concat.input_files()) == {"g1.txt", "g2.txt"}
+        galmorph = dvs[0]
+        assert galmorph.scalar_parameters()["redshift"] == "0.05"
+        assert galmorph.input_files() == ("g1.fit",)
+
+
+class TestService:
+    def test_missing_fields_rejected(self, env):
+        with pytest.raises(ServiceError):
+            env.compute_service.gal_morph_compute(VOTable([Field("id", "char")]), "o.vot", "X")
+
+    def test_full_request_completes(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        url = env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        message = env.compute_service.poll(url)
+        assert message.state == "completed"
+        payload = env.compute_service.fetch_result(message.result_url)
+        table = parse_votable(payload.decode())
+        assert len(table) == tiny_cluster.n_galaxies
+
+    def test_images_cached_and_registered(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        request = list(env.compute_service.requests.values())[-1]
+        assert request.images_downloaded == tiny_cluster.n_galaxies
+        assert request.images_cached == 0
+        # every image registered in the RLS at the cache site
+        lfn = f"{tiny_cluster.name}-0000.fit"
+        assert any(r.site == "nvo-storage" for r in env.vds.rls.lookup(lfn))
+
+    def test_second_request_short_circuits(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        url2 = env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        message = env.compute_service.poll(url2)
+        assert message.state == "completed"
+        request = list(env.compute_service.requests.values())[-1]
+        assert request.short_circuited
+        assert request.images_downloaded == 0
+
+    def test_new_output_name_reuses_cached_images(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        env.compute_service.gal_morph_compute(vot, "out2.vot", tiny_cluster.name)
+        request = list(env.compute_service.requests.values())[-1]
+        assert not request.short_circuited
+        assert request.images_downloaded == 0
+        assert request.images_cached == tiny_cluster.n_galaxies
+        # but the per-galaxy results were reused: only concat ran
+        assert request.plan is not None
+        assert len(request.plan.reduced) == 1
+
+    def test_per_galaxy_results_registered(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        assert env.vds.rls.exists(f"{tiny_cluster.name}-0000.txt")
+
+    def test_simulate_mode_registers_virtually(self, tiny_cluster):
+        env = build_demo_environment(
+            clusters=[tiny_cluster], execution_mode="simulate", seed_virtual_data_reuse=False
+        )
+        vot = input_votable(env, tiny_cluster)
+        url = env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        assert env.compute_service.poll(url).state == "completed"
+        assert env.vds.rls.exists("out.vot")
+        request = list(env.compute_service.requests.values())[-1]
+        assert request.report is not None and request.report.makespan > 0
+
+    def test_poll_charges_meter(self, env, tiny_cluster):
+        vot = input_votable(env, tiny_cluster)
+        url = env.compute_service.gal_morph_compute(vot, "out.vot", tiny_cluster.name)
+        before = env.meter.count("status-poll")
+        env.compute_service.poll(url)
+        assert env.meter.count("status-poll") == before + 1
+
+
+class TestServiceFailurePath:
+    def test_portal_surfaces_workflow_failure(self, tiny_cluster):
+        """An unrecoverable Grid failure reaches the portal as a failed
+        status, not a hang or a crash."""
+        from repro.core.errors import ServiceError
+
+        env = build_demo_environment(
+            clusters=[tiny_cluster], execution_mode="simulate", seed_virtual_data_reuse=False
+        )
+        out_name = f"{tiny_cluster.name}-morphology.vot"
+        env.vds.simulation_options.forced_failures[f"job-dv-concat-{out_name}"] = 99
+        with pytest.raises(ServiceError, match="failed"):
+            env.portal.run_analysis(tiny_cluster.name)
+        request = list(env.compute_service.requests.values())[-1]
+        assert not request.report.succeeded
+        page = env.compute_service.status.page(request.request_id)
+        assert page.latest.state == "failed"

@@ -1,0 +1,118 @@
+"""Tests for the general-purpose VOTable operations service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.services.tableops import TableOpRequest, VOTableOperationsService
+from repro.services.transport import CostMeter
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import parse_votable
+from repro.votable.writer import write_votable
+
+
+def catalog() -> VOTable:
+    t = VOTable([Field("id", "char"), Field("mag", "double")])
+    t.extend([["g1", 17.0], ["g2", 19.5], ["g3", 21.0]])
+    return t
+
+
+def results() -> VOTable:
+    t = VOTable([Field("id", "char"), Field("asym", "double")])
+    t.extend([["g1", 0.05], ["g3", 0.30]])
+    return t
+
+
+class TestWireApi:
+    def test_join_over_xml(self):
+        service = VOTableOperationsService()
+        out = service.execute(
+            TableOpRequest("join", {"on": "id"}),
+            write_votable(catalog()),
+            write_votable(results()),
+        )
+        joined = parse_votable(out)
+        assert [r["id"] for r in joined] == ["g1", "g3"]
+        assert joined.row(1)["asym"] == 0.30
+
+    def test_meter_charged_by_payload(self):
+        meter = CostMeter()
+        service = VOTableOperationsService(meter=meter)
+        service.execute(
+            TableOpRequest("join", {"on": "id"}),
+            write_votable(catalog()),
+            write_votable(results()),
+        )
+        assert meter.count("table-ops") == 1
+        assert meter.total("table-ops") > 0
+
+
+class TestOperations:
+    def setup_method(self):
+        self.service = VOTableOperationsService()
+
+    def test_left_join(self):
+        out = self.service.apply(TableOpRequest("left-join", {"on": "id"}), catalog(), results())
+        assert len(out) == 3
+        assert out.row(1)["asym"] is None
+
+    def test_select_range(self):
+        out = self.service.apply(
+            TableOpRequest("select", {"column": "mag", "minimum": 18.0, "maximum": 20.0}),
+            catalog(),
+        )
+        assert [r["id"] for r in out] == ["g2"]
+
+    def test_select_nulls_dropped(self):
+        t = catalog()
+        t.append({"id": "g4"})  # null mag
+        out = self.service.apply(TableOpRequest("select", {"column": "mag"}), t)
+        assert len(out) == 3
+
+    def test_stack(self):
+        out = self.service.apply(TableOpRequest("stack"), catalog(), catalog())
+        assert len(out) == 6
+
+    def test_add_column(self):
+        out = self.service.apply(
+            TableOpRequest(
+                "add-column", {"name": "member", "datatype": "boolean", "values": [True, False, True]}
+            ),
+            catalog(),
+        )
+        assert out.row(0)["member"] is True
+
+    def test_request_count(self):
+        self.service.apply(TableOpRequest("stack"), catalog())
+        self.service.apply(TableOpRequest("stack"), catalog())
+        assert self.service.request_count == 2
+
+
+class TestValidation:
+    def setup_method(self):
+        self.service = VOTableOperationsService()
+
+    def test_unknown_operation(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("pivot"), catalog())
+
+    def test_join_arity(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("join", {"on": "id"}), catalog())
+
+    def test_join_requires_on(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("join"), catalog(), results())
+
+    def test_select_requires_column(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("select"), catalog())
+
+    def test_add_column_requires_values(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("add-column", {"name": "x"}), catalog())
+
+    def test_stack_requires_tables(self):
+        with pytest.raises(ServiceError):
+            self.service.apply(TableOpRequest("stack"))

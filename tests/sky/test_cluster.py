@@ -1,0 +1,155 @@
+"""Tests for the cluster model and its Dressler-style morphology mixing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.catalog.coords import SkyPosition
+from repro.sky.cluster import ClusterModel, MorphType
+
+
+def make_cluster(n=200, **kwargs) -> ClusterModel:
+    defaults = dict(
+        name="T", center=SkyPosition(150.0, 2.0), redshift=0.05, n_galaxies=n, seed=11
+    )
+    defaults.update(kwargs)
+    return ClusterModel(**defaults)
+
+
+class TestValidation:
+    def test_needs_galaxies(self):
+        with pytest.raises(ValueError):
+            make_cluster(n=0)
+
+    def test_radius_ordering(self):
+        with pytest.raises(ValueError):
+            make_cluster(core_radius_deg=0.5, tidal_radius_deg=0.4)
+
+    def test_fraction_ordering(self):
+        with pytest.raises(ValueError):
+            make_cluster(elliptical_core_fraction=0.2, elliptical_field_fraction=0.5)
+
+
+class TestMemberGeneration:
+    def test_reproducible(self):
+        assert make_cluster().generate_members() == make_cluster().generate_members()
+
+    def test_seed_changes_members(self):
+        a = make_cluster(seed=1).generate_members()
+        b = make_cluster(seed=2).generate_members()
+        assert a != b
+
+    def test_count_and_ids_unique(self):
+        members = make_cluster(n=150).generate_members()
+        assert len(members) == 150
+        assert len({m.galaxy_id for m in members}) == 150
+
+    def test_radii_within_tidal(self):
+        cluster = make_cluster()
+        members = cluster.generate_members()
+        assert all(0 <= m.radius_deg <= cluster.tidal_radius_deg * 1.001 for m in members)
+
+    def test_positions_match_radii(self):
+        cluster = make_cluster(n=50)
+        for m in cluster.generate_members():
+            sep = cluster.center.separation_deg(SkyPosition(m.ra, m.dec))
+            assert sep == pytest.approx(m.radius_deg, rel=0.02, abs=1e-5)
+
+    def test_king_profile_centrally_concentrated(self):
+        cluster = make_cluster(n=2000)
+        radii = np.array([m.radius_deg for m in cluster.generate_members()])
+        rc, rt = cluster.core_radius_deg, cluster.tidal_radius_deg
+        # surface density in an inner annulus >> outer annulus
+        inner = ((radii < 2 * rc)).sum() / (np.pi * (2 * rc) ** 2)
+        outer = ((radii > rt / 2)).sum() / (np.pi * (rt**2 - (rt / 2) ** 2))
+        assert inner > 5 * outer
+
+    def test_redshift_scatter(self):
+        cluster = make_cluster(n=500, velocity_dispersion_kms=1000.0)
+        dz = np.array([m.redshift for m in cluster.generate_members()]) - cluster.redshift
+        sigma_z = 1000.0 / 299_792.458
+        assert np.std(dz) == pytest.approx(sigma_z, rel=0.15)
+
+    def test_all_types_present_in_large_cluster(self):
+        types = {m.morph for m in make_cluster(n=1000).generate_members()}
+        assert types == set(MorphType)
+
+
+class TestDresslerMixing:
+    def test_probability_bounds(self):
+        cluster = make_cluster()
+        r = np.linspace(0, cluster.tidal_radius_deg, 50)
+        p = cluster.elliptical_probability(r)
+        assert p[0] == pytest.approx(cluster.elliptical_core_fraction, abs=1e-6)
+        assert p[-1] == pytest.approx(cluster.elliptical_field_fraction, abs=1e-6)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_probability_monotone_decreasing(self):
+        cluster = make_cluster()
+        r = np.linspace(0, cluster.tidal_radius_deg, 50)
+        assert (np.diff(cluster.elliptical_probability(r)) <= 1e-12).all()
+
+    def test_generated_morphology_follows_radius(self):
+        cluster = make_cluster(n=2000)
+        members = cluster.generate_members()
+        early = np.array([m.morph in (MorphType.ELLIPTICAL, MorphType.LENTICULAR) for m in members])
+        radii = np.array([m.radius_deg for m in members])
+        median = np.median(radii)
+        inner_frac = early[radii < median].mean()
+        outer_frac = early[radii >= median].mean()
+        assert inner_frac > outer_frac + 0.1
+
+    def test_asymmetry_by_type(self):
+        members = make_cluster(n=1000).generate_members()
+        mean_asym = {
+            t: np.mean([m.asymmetry_true for m in members if m.morph == t])
+            for t in MorphType
+            if any(m.morph == t for m in members)
+        }
+        assert mean_asym[MorphType.SPIRAL] > mean_asym[MorphType.ELLIPTICAL]
+        assert mean_asym[MorphType.IRREGULAR] > mean_asym[MorphType.LENTICULAR]
+
+
+class TestSubclusterInjection:
+    def test_zero_fraction_is_identity(self):
+        import dataclasses
+
+        base = make_cluster(n=100)
+        with_zero = dataclasses.replace(base, subcluster_fraction=0.0)
+        assert base.generate_members() == with_zero.generate_members()
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            make_cluster(subcluster_fraction=0.6)
+
+    def test_subclump_members_relocated(self):
+        import dataclasses
+
+        base = make_cluster(n=100)
+        merging = dataclasses.replace(
+            base, subcluster_fraction=0.25, subcluster_offset_deg=0.3
+        )
+        base_members = base.generate_members()
+        merged_members = merging.generate_members()
+        moved = [
+            (a, b) for a, b in zip(base_members, merged_members) if a.ra != b.ra
+        ]
+        assert len(moved) == 25
+        # relocated members cluster near the subclump offset radius
+        radii = np.array([b.radius_deg for _, b in moved])
+        assert abs(np.median(radii) - 0.3) < 0.1
+        # and carry a bulk velocity offset
+        dz = np.array([b.redshift - a.redshift for a, b in moved])
+        expected_dz = merging.subcluster_velocity_kms / 299_792.458
+        np.testing.assert_allclose(dz, expected_dz, rtol=1e-9)
+
+    def test_untouched_members_identical(self):
+        import dataclasses
+
+        base = make_cluster(n=60)
+        merging = dataclasses.replace(base, subcluster_fraction=0.2)
+        same = [
+            a == b for a, b in zip(base.generate_members(), merging.generate_members())
+        ]
+        assert sum(same) == 48

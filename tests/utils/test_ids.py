@@ -1,0 +1,62 @@
+"""Tests for identifier helpers."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import numpy as np
+
+from repro.utils.ids import new_request_id, sequential_namer
+
+
+class TestNewRequestId:
+    def test_format(self):
+        rid = new_request_id()
+        assert re.match(r"^req-\d{6}-[0-9a-z]{6}$", rid)
+
+    def test_custom_prefix(self):
+        assert new_request_id(prefix="job").startswith("job-")
+
+    def test_unique_across_calls(self):
+        ids = {new_request_id() for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_rng_suffix_used(self):
+        rng = np.random.default_rng(0)
+        rid = new_request_id(rng=rng)
+        assert re.match(r"^req-\d{6}-[a-z0-9]{6}$", rid)
+
+    def test_unique_under_threads(self):
+        out: list[str] = []
+        lock = threading.Lock()
+
+        def mint():
+            for _ in range(50):
+                rid = new_request_id()
+                with lock:
+                    out.append(rid)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == len(out)
+
+
+class TestSequentialNamer:
+    def test_sequence(self):
+        namer = sequential_namer("xfer")
+        assert namer() == "xfer-0001"
+        assert namer() == "xfer-0002"
+
+    def test_custom_start_and_width(self):
+        namer = sequential_namer("n", start=9, width=2)
+        assert namer() == "n-09"
+        assert namer() == "n-10"
+
+    def test_independent_namers(self):
+        a, b = sequential_namer("a"), sequential_namer("b")
+        a()
+        assert b() == "b-0001"

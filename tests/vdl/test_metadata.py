@@ -1,0 +1,108 @@
+"""Tests for Chimera metadata annotations and metadata-driven requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VirtualDataSystem
+from repro.core.errors import ExecutionError
+from repro.pegasus.options import PlannerOptions
+from repro.vdl.catalog import VirtualDataCatalog
+
+VDL = """
+TR measure( in image, out result ) { }
+DV m1->measure( image=@{in:"g1.fit"}, result=@{out:"g1.txt"} );
+DV m2->measure( image=@{in:"g2.fit"}, result=@{out:"g2.txt"} );
+DV m3->measure( image=@{in:"g3.fit"}, result=@{out:"g3.txt"} );
+"""
+
+
+class TestAnnotations:
+    def make(self) -> VirtualDataCatalog:
+        catalog = VirtualDataCatalog()
+        catalog.define(VDL)
+        catalog.annotate("m1", cluster="A1656", band="r")
+        catalog.annotate("m2", cluster="A1656", band="g")
+        catalog.annotate("m3", cluster="A2029", band="r")
+        return catalog
+
+    def test_annotate_unknown(self):
+        with pytest.raises(KeyError):
+            VirtualDataCatalog().annotate("ghost", x="1")
+
+    def test_annotations_readable(self):
+        catalog = self.make()
+        assert catalog.annotations_of("m1") == {"cluster": "A1656", "band": "r"}
+        with pytest.raises(KeyError):
+            catalog.annotations_of("ghost")
+
+    def test_annotations_merge(self):
+        catalog = self.make()
+        catalog.annotate("m1", quality="good")
+        assert catalog.annotations_of("m1")["quality"] == "good"
+        assert catalog.annotations_of("m1")["cluster"] == "A1656"
+
+    def test_find_by_one_key(self):
+        catalog = self.make()
+        assert {d.name for d in catalog.find_derivations(cluster="A1656")} == {"m1", "m2"}
+
+    def test_find_conjunctive(self):
+        catalog = self.make()
+        assert [d.name for d in catalog.find_derivations(cluster="A1656", band="r")] == ["m1"]
+
+    def test_find_no_match(self):
+        assert self.make().find_derivations(cluster="A9999") == []
+
+    def test_unannotated_never_match(self):
+        catalog = VirtualDataCatalog()
+        catalog.define(VDL)
+        assert catalog.find_derivations(cluster="A1656") == []
+
+    def test_outputs_by_metadata(self):
+        catalog = self.make()
+        assert sorted(catalog.find_outputs_by_metadata(cluster="A1656")) == ["g1.txt", "g2.txt"]
+
+    def test_values_stringified(self):
+        catalog = self.make()
+        catalog.annotate("m3", depth=5)
+        assert catalog.find_derivations(depth=5) and catalog.find_derivations(depth="5")
+
+
+class TestMaterializeByMetadata:
+    def test_end_to_end(self):
+        vds = VirtualDataSystem(
+            planner_options=PlannerOptions(output_site="store", site_selection="round-robin")
+        )
+        vds.add_storage_site("store")
+        vds.define(VDL)
+        for i in (1, 2, 3):
+            vds.publish(f"g{i}.fit", b"IMG%d" % i, "store")
+        vds.vdc.annotate("m1", cluster="A1656")
+        vds.vdc.annotate("m2", cluster="A1656")
+        vds.vdc.annotate("m3", cluster="A2029")
+        vds.registry.register("measure", lambda job, inputs: {job.outputs[0]: b"M:" + next(iter(inputs.values()))})
+        for pool in vds.topology.pools:
+            vds.tc.install("measure", pool, "/bin/measure")
+
+        plan, report = vds.materialize_by_metadata(cluster="A1656")
+        assert report.succeeded
+        assert len(plan.reduced) == 2  # only A1656's derivations ran
+        assert vds.retrieve("g1.txt") == b"M:IMG1"
+        assert not vds.rls.exists("g3.txt")
+
+    def test_no_match_raises(self):
+        vds = VirtualDataSystem()
+        with pytest.raises(ExecutionError):
+            vds.materialize_by_metadata(cluster="nowhere")
+
+    def test_service_annotates_generated_derivations(self, tiny_cluster):
+        from repro.portal.demo import build_demo_environment
+
+        env = build_demo_environment(clusters=[tiny_cluster], seed_virtual_data_reuse=False)
+        env.portal.run_analysis(tiny_cluster.name)
+        matches = env.vds.vdc.find_derivations(cluster=tiny_cluster.name, kind="morphology")
+        assert len(matches) == tiny_cluster.n_galaxies
+        catalogs = env.vds.vdc.find_derivations(cluster=tiny_cluster.name, kind="catalog")
+        assert len(catalogs) == 1
+        outputs = env.vds.vdc.find_outputs_by_metadata(cluster=tiny_cluster.name, kind="catalog")
+        assert outputs == [f"{tiny_cluster.name}-morphology.vot"]

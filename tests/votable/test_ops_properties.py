@@ -1,0 +1,85 @@
+"""Property-based tests for the VOTable operations."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.votable.model import Field, VOTable
+from repro.votable.ops import inner_join, left_join, select_rows, vstack
+
+keys = st.text(alphabet="abcdefg", min_size=1, max_size=2)
+
+
+@st.composite
+def keyed_tables(draw):
+    """Two tables sharing a 'k' key column, arbitrary key multiplicity."""
+    left = VOTable([Field("k", "char"), Field("a", "int")])
+    right = VOTable([Field("k", "char"), Field("b", "int")])
+    for i, key in enumerate(draw(st.lists(keys, max_size=10))):
+        left.append([key, i])
+    for i, key in enumerate(draw(st.lists(keys, max_size=10))):
+        right.append([key, i * 10])
+    return left, right
+
+
+class TestJoinProperties:
+    @given(keyed_tables())
+    def test_inner_join_cardinality(self, tables):
+        """|A join B| equals the sum over keys of count_A(k) * count_B(k)."""
+        left, right = tables
+        left_counts: dict[str, int] = {}
+        right_counts: dict[str, int] = {}
+        for row in left:
+            left_counts[row["k"]] = left_counts.get(row["k"], 0) + 1
+        for row in right:
+            right_counts[row["k"]] = right_counts.get(row["k"], 0) + 1
+        expected = sum(n * right_counts.get(k, 0) for k, n in left_counts.items())
+        assert len(inner_join(left, right, on="k")) == expected
+
+    @given(keyed_tables())
+    def test_left_join_never_loses_left_rows(self, tables):
+        left, right = tables
+        joined = left_join(left, right, on="k")
+        assert len(joined) >= len(left) or len(left) == 0
+        # with unique right keys it is exactly the left count
+        right_keys = [row["k"] for row in right]
+        if len(set(right_keys)) == len(right_keys):
+            assert len(joined) == len(left)
+
+    @given(keyed_tables())
+    def test_inner_subset_of_left_join(self, tables):
+        left, right = tables
+        inner = inner_join(left, right, on="k")
+        outer = left_join(left, right, on="k")
+        assert len(inner) <= len(outer)
+
+    @given(keyed_tables())
+    def test_join_commutes_on_key_sets(self, tables):
+        """The key multiset of A join B equals that of B join A."""
+        left, right = tables
+        ab = sorted(row["k"] for row in inner_join(left, right, on="k"))
+        ba = sorted(row["k"] for row in inner_join(right, left, on="k"))
+        assert ab == ba
+
+
+class TestSelectStackProperties:
+    @given(keyed_tables())
+    def test_select_partition(self, tables):
+        """A predicate and its negation partition the table exactly."""
+        left, _ = tables
+        yes = select_rows(left, lambda r: r["a"] % 2 == 0)
+        no = select_rows(left, lambda r: r["a"] % 2 != 0)
+        assert len(yes) + len(no) == len(left)
+
+    @given(keyed_tables())
+    def test_vstack_length_additive(self, tables):
+        left, _ = tables
+        assert len(vstack([left, left, left])) == 3 * len(left)
+
+    @given(keyed_tables())
+    def test_vstack_preserves_rows(self, tables):
+        left, _ = tables
+        stacked = vstack([left, left])
+        assert stacked.rows()[: len(left)] == left.rows()
+        assert stacked.rows()[len(left) :] == left.rows()

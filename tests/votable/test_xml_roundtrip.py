@@ -1,0 +1,125 @@
+"""VOTable XML serialisation: round-trips, dialects, Mirage export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import parse_votable
+from repro.votable.writer import to_mirage_format, write_votable
+
+names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,10}", fullmatch=True)
+cell_text = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="<>&'\""),
+    min_size=1,
+    max_size=12,
+)
+
+
+@st.composite
+def votables(draw):
+    n_fields = draw(st.integers(1, 5))
+    field_names = draw(
+        st.lists(names, min_size=n_fields, max_size=n_fields, unique=True)
+    )
+    datatypes = draw(
+        st.lists(
+            st.sampled_from(["char", "int", "double", "boolean", "long", "float", "short"]),
+            min_size=n_fields,
+            max_size=n_fields,
+        )
+    )
+    fields = [Field(n, d) for n, d in zip(field_names, datatypes)]
+    table = VOTable(fields, name=draw(names))
+    for _ in range(draw(st.integers(0, 6))):
+        row = []
+        for f in fields:
+            if draw(st.booleans()) and f.datatype != "char":
+                row.append(None)
+            elif f.datatype == "char":
+                row.append(draw(cell_text))
+            elif f.datatype == "boolean":
+                row.append(draw(st.booleans()))
+            elif f.datatype in ("short", "int"):
+                row.append(draw(st.integers(-30000, 30000)))
+            elif f.datatype == "long":
+                row.append(draw(st.integers(-(2**40), 2**40)))
+            elif f.datatype == "float":
+                row.append(draw(st.floats(-1e5, 1e5, width=32)))
+            else:
+                row.append(draw(st.floats(-1e12, 1e12, allow_nan=False, allow_infinity=False)))
+        table.append(row)
+    return table
+
+
+class TestRoundTrip:
+    @given(votables())
+    def test_property_roundtrip(self, table):
+        assert parse_votable(write_votable(table)) == table
+
+    @given(votables())
+    def test_bare_dialect_roundtrip(self, table):
+        assert parse_votable(write_votable(table, namespaced=False)) == table
+
+    def test_params_roundtrip(self):
+        t = VOTable([Field("a", "int")], params={"REQUEST_ID": "req-1"})
+        t.append([1])
+        assert parse_votable(write_votable(t)).params == {"REQUEST_ID": "req-1"}
+
+    def test_description_roundtrip(self):
+        t = VOTable([Field("a", "int")], description="galaxies of A1656")
+        assert parse_votable(write_votable(t)).description == "galaxies of A1656"
+
+    def test_bytes_input(self):
+        t = VOTable([Field("a", "int")])
+        t.append([5])
+        assert parse_votable(write_votable(t).encode("utf-8")) == t
+
+
+class TestParserErrors:
+    def test_not_votable(self):
+        with pytest.raises(ValueError):
+            parse_votable("<HTML></HTML>")
+
+    def test_no_table(self):
+        with pytest.raises(ValueError):
+            parse_votable("<VOTABLE><RESOURCE/></VOTABLE>")
+
+    def test_bad_boolean_cell(self):
+        doc = (
+            "<VOTABLE><RESOURCE><TABLE>"
+            "<FIELD name='x' datatype='boolean'/>"
+            "<DATA><TABLEDATA><TR><TD>maybe</TD></TR></TABLEDATA></DATA>"
+            "</TABLE></RESOURCE></VOTABLE>"
+        )
+        with pytest.raises(ValueError):
+            parse_votable(doc)
+
+    def test_boolean_spellings(self):
+        doc = (
+            "<VOTABLE><RESOURCE><TABLE>"
+            "<FIELD name='x' datatype='boolean'/>"
+            "<DATA><TABLEDATA>"
+            "<TR><TD>T</TD></TR><TR><TD>false</TD></TR><TR><TD>1</TD></TR>"
+            "</TABLEDATA></DATA>"
+            "</TABLE></RESOURCE></VOTABLE>"
+        )
+        t = parse_votable(doc)
+        assert [r["x"] for r in t] == [True, False, True]
+
+
+class TestMirageExport:
+    def test_format_line(self):
+        t = VOTable([Field("ra", "double"), Field("id", "char")])
+        t.append([1.5, "g1"])
+        text = to_mirage_format(t)
+        lines = text.splitlines()
+        assert lines[0] == "format ra id"
+        assert lines[1] == '1.5 "g1"'
+
+    def test_null_and_boolean_cells(self):
+        t = VOTable([Field("x", "double"), Field("ok", "boolean")])
+        t.append([None, True])
+        assert to_mirage_format(t).splitlines()[1] == "- 1"
