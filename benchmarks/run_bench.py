@@ -1,0 +1,206 @@
+"""Headless seed-vs-fast morphology kernel benchmark.
+
+Runs the hot kernels of the §5 campaign both ways — the preserved seed
+implementations in :mod:`repro.morphology.reference` and the
+geometry-cached fast path — and appends the speedups to
+``BENCH_morphology.json`` at the repo root, so later PRs can gate on
+performance regressions without the pytest-benchmark harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --quick   # smoke (~5 s)
+    PYTHONPATH=src python benchmarks/run_bench.py           # full repeats
+
+The trajectory file is ``{"history": [entry, ...]}``; each entry carries a
+UTC timestamp, the mode, and per-benchmark ``{seed_ms, fast_ms, speedup}``.
+The acceptance floors of the fast-path PR (galMorph 64x64 >= 2x, asymmetry
+128 >= 3x) are asserted here with ``--check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+from scipy import ndimage
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fits.hdu import ImageHDU  # noqa: E402
+from repro.fits.io import read_fits_bytes, write_fits_bytes  # noqa: E402
+from repro.morphology.geometry import CutoutGeometry  # noqa: E402
+from repro.morphology.measures import asymmetry_index, concentration_index  # noqa: E402
+from repro.morphology.petrosian import petrosian_radius  # noqa: E402
+from repro.morphology.pipeline import GalmorphTask, galmorph, galmorph_batch  # noqa: E402
+from repro.morphology.reference import (  # noqa: E402
+    asymmetry_index_reference,
+    concentration_index_reference,
+    galmorph_reference,
+    petrosian_radius_reference,
+)
+from repro.sky.cluster import GalaxyRecord, MorphType  # noqa: E402
+from repro.sky.galaxy import render_galaxy_image  # noqa: E402
+from repro.sky.profiles import pixel_integrated_sersic  # noqa: E402
+
+TRAJECTORY = REPO_ROOT / "BENCH_morphology.json"
+
+#: Acceptance floors from the fast-path PR; ``--check`` enforces them.
+FLOORS = {"galmorph_64": 2.0, "asymmetry_128": 3.0}
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in milliseconds."""
+    fn()  # warm caches; the campaign steady state is what we measure
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+def _sersic(size: int, n: float) -> np.ndarray:
+    img = pixel_integrated_sersic(
+        (size, size), ((size - 1) / 2, (size - 1) / 2), size / 10, n, 1e4
+    )
+    return ndimage.gaussian_filter(img, 1.2)
+
+
+def _galmorph_payload() -> bytes:
+    galaxy = GalaxyRecord(
+        "bench-g2", 150.0, 2.0, 0.05, 17.0, MorphType.ELLIPTICAL, 4.0, 0.2, 0.0, 0.01, 0.05
+    )
+    return write_fits_bytes(ImageHDU(render_galaxy_image(galaxy, rng=np.random.default_rng(1))))
+
+
+def _batch_tasks(count: int) -> list[GalmorphTask]:
+    types = [MorphType.ELLIPTICAL, MorphType.SPIRAL, MorphType.IRREGULAR, MorphType.LENTICULAR]
+    tasks = []
+    for i in range(count):
+        galaxy = GalaxyRecord(
+            f"batch-{i}", 150.0, 2.0, 0.05, 17.0, types[i % 4], 2.5, 0.25, 30.0, 0.2, 0.1
+        )
+        hdu = ImageHDU(render_galaxy_image(galaxy, rng=np.random.default_rng(100 + i)))
+        tasks.append(
+            GalmorphTask(image=hdu, redshift=0.05, pix_scale=0.4 / 3600.0, galaxy_id=f"batch-{i}")
+        )
+    return tasks
+
+
+def run(repeats: int) -> dict[str, dict[str, float]]:
+    results: dict[str, dict[str, float]] = {}
+
+    def pair(name: str, seed_fn, fast_fn) -> None:
+        seed_ms = _time(seed_fn, repeats)
+        fast_ms = _time(fast_fn, repeats)
+        results[name] = {
+            "seed_ms": round(seed_ms, 4),
+            "fast_ms": round(fast_ms, 4),
+            "speedup": round(seed_ms / fast_ms, 2),
+        }
+        print(f"{name:<24} seed {seed_ms:8.3f} ms   fast {fast_ms:8.3f} ms   "
+              f"{seed_ms / fast_ms:5.2f}x")
+
+    # -- asymmetry: the dominant kernel (9-point centre search) ----------------
+    for size in (32, 64, 128):
+        img = _sersic(size, 1.0)
+        center = ((size - 1) / 2, (size - 1) / 2)
+        radius = size / 2 - 2
+        geom = CutoutGeometry((size, size))
+        pair(
+            f"asymmetry_{size}",
+            lambda img=img, c=center, r=radius: asymmetry_index_reference(img, c, r),
+            lambda img=img, c=center, r=radius, g=geom: asymmetry_index(img, c, r, geometry=g),
+        )
+
+    # -- concentration + petrosian on the campaign's common 64x64 shape --------
+    img64 = _sersic(64, 4.0)
+    c64 = (31.5, 31.5)
+    geom64 = CutoutGeometry((64, 64))
+    pair(
+        "concentration_64",
+        lambda: concentration_index_reference(img64, c64, 30.0),
+        lambda: concentration_index(img64, c64, 30.0, geometry=geom64),
+    )
+    pair(
+        "petrosian_64",
+        lambda: petrosian_radius_reference(img64, c64),
+        lambda: petrosian_radius(img64, c64, geometry=geom64),
+    )
+
+    # -- the full §5 unit of work: FITS parse -> parameters --------------------
+    payload = _galmorph_payload()
+    pair(
+        "galmorph_64",
+        lambda: galmorph_reference(
+            read_fits_bytes(payload), redshift=0.05, pix_scale=0.4 / 3600.0, galaxy_id="g"
+        ),
+        lambda: galmorph(
+            read_fits_bytes(payload), redshift=0.05, pix_scale=0.4 / 3600.0, galaxy_id="g"
+        ),
+    )
+
+    # -- clustered-node bundle: per-member seed loop vs shared-geometry batch --
+    tasks = _batch_tasks(8)
+    pair(
+        "galmorph_batch_8",
+        lambda: [
+            galmorph_reference(
+                t.image, redshift=t.redshift, pix_scale=t.pix_scale, galaxy_id=t.galaxy_id
+            )
+            for t in tasks
+        ],
+        lambda: galmorph_batch(tasks),
+    )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: 3 repeats per kernel instead of 15")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) if a speedup floor is missed")
+    parser.add_argument("--out", type=Path, default=TRAJECTORY,
+                        help=f"trajectory file (default {TRAJECTORY})")
+    args = parser.parse_args(argv)
+
+    repeats = 3 if args.quick else 15
+    results = run(repeats)
+
+    history = {"history": []}
+    if args.out.exists():
+        history = json.loads(args.out.read_text())
+    history["history"].append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "mode": "quick" if args.quick else "full",
+            "repeats": repeats,
+            "results": results,
+        }
+    )
+    args.out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"\nwrote {args.out} ({len(history['history'])} entries)")
+
+    failed = {
+        name: (results[name]["speedup"], floor)
+        for name, floor in FLOORS.items()
+        if name in results and results[name]["speedup"] < floor
+    }
+    if failed:
+        for name, (got, floor) in failed.items():
+            print(f"FLOOR MISSED: {name} {got:.2f}x < {floor:.1f}x")
+        return 1 if args.check else 0
+    print("all speedup floors met:",
+          ", ".join(f"{n} >= {f:.0f}x" for n, f in FLOORS.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.condor.dagman import DagmanState, NodeStatus
 from repro.condor.gram import GramGateway, GridCredential
@@ -36,6 +36,14 @@ from repro.workflow.concrete import (
 #: A transformation body: (job, inputs by lfn) -> outputs by lfn.
 Executable = Callable[[AbstractJob, dict[str, bytes]], dict[str, bytes]]
 
+#: A *batch* transformation body: one call handles a whole seqexec bundle of
+#: same-transformation jobs, returning one outputs dict per job (same order).
+#: This is how clustered compute nodes amortise per-cutout setup — the real
+#: galMorph batch body shares one cutout-geometry cache across all members.
+BatchExecutable = Callable[
+    [Sequence[AbstractJob], Sequence[dict[str, bytes]]], Sequence[dict[str, bytes]]
+]
+
 
 class ExecutableRegistry:
     """Maps logical transformation names to Python callables.
@@ -43,20 +51,47 @@ class ExecutableRegistry:
     This is the local-execution counterpart of the Transformation Catalog:
     the TC says *where* an executable lives; the registry says *what it
     does* when this process is the execution site.
+
+    Transformations may additionally register a **batch body** via
+    :meth:`register_batch`; clustered compute nodes whose members all share
+    that transformation are then executed through one call instead of a
+    per-member loop, amortising setup (geometry caches, cosmology tables)
+    across the bundle.
     """
 
     def __init__(self) -> None:
         self._executables: dict[str, Executable] = {}
+        self._batch_executables: dict[str, BatchExecutable] = {}
 
     def register(self, transformation: str, fn: Executable) -> None:
         if transformation in self._executables:
             raise ValueError(f"executable for {transformation!r} already registered")
         self._executables[transformation] = fn
 
+    def register_batch(self, transformation: str, fn: BatchExecutable) -> None:
+        """Install a whole-bundle body for ``transformation``.
+
+        The per-job body must still be registered (it remains the fallback
+        for unclustered nodes and mixed-transformation bundles).
+        """
+        if transformation not in self._executables:
+            raise ValueError(
+                f"register the per-job executable for {transformation!r} "
+                "before its batch variant"
+            )
+        if transformation in self._batch_executables:
+            raise ValueError(f"batch executable for {transformation!r} already registered")
+        self._batch_executables[transformation] = fn
+
     def get(self, transformation: str) -> Executable:
         if transformation not in self._executables:
             raise ExecutionError(f"no executable registered for transformation {transformation!r}")
         return self._executables[transformation]
+
+    def get_batch(self, transformation: str) -> BatchExecutable | None:
+        """The batch body for ``transformation``, or ``None`` if only the
+        per-job body exists."""
+        return self._batch_executables.get(transformation)
 
     def __contains__(self, transformation: str) -> bool:
         return transformation in self._executables
@@ -122,6 +157,53 @@ class LocalExecutor:
         for lfn, content in outputs.items():
             site.put(site.pfn_for(lfn), content)
 
+    def _run_cluster(self, payload: ClusteredComputeNode) -> None:
+        """Run a seqexec bundle, batched when the transformation allows it.
+
+        If every member shares one transformation and a batch body is
+        registered for it, the whole bundle goes through a single call —
+        one GRAM submission per member is still recorded (the paper's
+        accounting is per-job), inputs are still read per member, and each
+        member's declared outputs are still checked and written.  Otherwise
+        the bundle falls back to the seed per-member loop.
+        """
+        transformations = {member.job.transformation for member in payload.members}
+        batch_fn = (
+            self.registry.get_batch(next(iter(transformations)))
+            if len(transformations) == 1
+            else None
+        )
+        if batch_fn is None:
+            # seqexec semantics: members run sequentially in one task
+            for member in payload.members:
+                self._run_compute(member)
+            return
+
+        if self.gram is not None and self.credential is not None:
+            for member in payload.members:
+                self.gram.submit(member.site, self.credential, time.time())
+        jobs = [member.job for member in payload.members]
+        inputs_list = [
+            {lfn: self._read_input(member.site, lfn) for lfn in member.job.inputs}
+            for member in payload.members
+        ]
+        outputs_list = batch_fn(jobs, inputs_list)
+        if len(outputs_list) != len(jobs):
+            raise ExecutionError(
+                f"batch executable for {jobs[0].transformation!r} returned "
+                f"{len(outputs_list)} results for {len(jobs)} jobs"
+            )
+        for member, outputs in zip(payload.members, outputs_list):
+            missing = set(member.job.outputs) - set(outputs)
+            if missing:
+                raise ExecutionError(
+                    f"job {member.job.job_id!r} did not produce declared outputs "
+                    f"{sorted(missing)}"
+                )
+            site = self._site(member.site)
+            for lfn, content in outputs.items():
+                site.put(site.pfn_for(lfn), content)
+
     def _run_transfer(self, node: TransferNode) -> int:
         source = self._site(node.source_site)
         content = source.get(node.source_pfn)
@@ -138,9 +220,7 @@ class LocalExecutor:
             self._run_compute(payload)
             return 0
         if isinstance(payload, ClusteredComputeNode):
-            # seqexec semantics: members run sequentially in one task
-            for member in payload.members:
-                self._run_compute(member)
+            self._run_cluster(payload)
             return 0
         if isinstance(payload, TransferNode):
             return self._run_transfer(payload)

@@ -16,6 +16,7 @@ the validity flag of §4.3.1(4).
 """
 
 from repro.morphology.background import estimate_background
+from repro.morphology.geometry import CutoutGeometry, shared_geometry
 from repro.morphology.measures import (
     asymmetry_index,
     average_surface_brightness,
@@ -23,7 +24,12 @@ from repro.morphology.measures import (
     curve_of_growth_radii,
 )
 from repro.morphology.petrosian import petrosian_radius
-from repro.morphology.pipeline import MorphologyResult, galmorph
+from repro.morphology.pipeline import (
+    GalmorphTask,
+    MorphologyResult,
+    galmorph,
+    galmorph_batch,
+)
 from repro.morphology.segmentation import central_source_mask
 
 __all__ = [
@@ -33,7 +39,11 @@ __all__ = [
     "concentration_index",
     "curve_of_growth_radii",
     "petrosian_radius",
+    "CutoutGeometry",
+    "shared_geometry",
+    "GalmorphTask",
     "MorphologyResult",
     "galmorph",
+    "galmorph_batch",
     "central_source_mask",
 ]

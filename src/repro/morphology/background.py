@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.morphology.geometry import border_mask
+
 
 @dataclass(frozen=True)
 class BackgroundEstimate:
@@ -23,17 +25,16 @@ class BackgroundEstimate:
 
 
 def _border_pixels(image: np.ndarray, width: int) -> np.ndarray:
-    """Flattened border frame of the image, ``width`` pixels deep."""
+    """Flattened border frame of the image, ``width`` pixels deep.
+
+    The boolean frame mask depends only on (shape, width), so it comes out
+    of the shared geometry cache instead of being rebuilt per cutout.
+    """
     h, w = image.shape
     width = min(width, h // 2, w // 2)
     if width < 1:
         raise ValueError(f"image {image.shape} too small for a border estimate")
-    mask = np.zeros(image.shape, dtype=bool)
-    mask[:width, :] = True
-    mask[-width:, :] = True
-    mask[:, :width] = True
-    mask[:, -width:] = True
-    return image[mask]
+    return image[border_mask((h, w), width)]
 
 
 def estimate_background(

@@ -9,17 +9,28 @@ and its per-galaxy derivations.  Failures ("the computation ... would fail
 because of the bad quality of galaxy images or some other reasons",
 §4.3.1(4)) are captured in the ``valid`` flag instead of propagating, so a
 few bad images never take down a whole cluster run.
+
+:func:`galmorph_batch` is the campaign-scale entry point: it runs many
+cutouts through the pipeline while sharing one
+:class:`~repro.morphology.geometry.CutoutGeometry` per cutout shape (index
+grids, radius maps, sorted permutations, aperture masks), optionally
+fanning out over a ``ProcessPoolExecutor``.  Clustered compute nodes in
+:mod:`repro.condor.local` route whole seqexec bundles through it.
 """
 
 from __future__ import annotations
 
+import pickle
+from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.catalog.cosmology import FlatLambdaCDM
 from repro.fits.hdu import ImageHDU
 from repro.morphology.background import estimate_background
+from repro.morphology.geometry import CutoutGeometry, shared_geometry
 from repro.morphology.measures import (
     asymmetry_index,
     average_surface_brightness,
@@ -27,6 +38,25 @@ from repro.morphology.measures import (
 )
 from repro.morphology.petrosian import petrosian_radius
 from repro.morphology.segmentation import central_source_mask, source_centroid
+
+#: Everything a pathological cutout may legitimately raise out of the
+#: measurement kernels.  ``np.errstate(... "raise")`` turns silent numpy
+#: divide/invalid/overflow conditions into ``FloatingPointError``; scalar
+#: Python math can raise ``ZeroDivisionError``; ``-W error`` runs escalate
+#: ``RuntimeWarning``.  All of them become ``valid=False`` rows.
+_MEASUREMENT_FAILURES = (
+    ValueError,
+    FloatingPointError,
+    ZeroDivisionError,
+    RuntimeWarning,
+)
+
+
+@lru_cache(maxsize=32)
+def _cosmology(ho: float, om: float) -> FlatLambdaCDM:
+    """Cosmology calculators keyed by (Ho, Om): one distance integral warm-up
+    per parameter set instead of one object per galaxy."""
+    return FlatLambdaCDM(h0=ho, omega_m=om)
 
 
 @dataclass(frozen=True)
@@ -63,13 +93,21 @@ def galmorph(
     om: float = 0.3,
     flat: bool = True,
     galaxy_id: str | None = None,
+    geometry: CutoutGeometry | None = None,
 ) -> MorphologyResult:
     """Measure the three §2 morphology parameters of one galaxy cutout.
 
     Parameters mirror the VDL transformation: ``pix_scale`` is in
     degrees/pixel (the paper's derivation passes ``2.83e-4``), cosmology is
     (``ho``, ``om``, ``flat``).  Never raises for data-quality problems —
-    returns ``valid=False`` with the failure reason instead.
+    returns ``valid=False`` with the failure reason instead; the
+    measurement block runs under ``np.errstate`` so silent numpy failure
+    modes surface as catchable ``FloatingPointError`` rather than NaNs or
+    crashed cluster nodes.
+
+    ``geometry`` lets batch callers share one cutout-geometry cache across
+    galaxies of the same shape; when omitted the process-wide
+    :func:`~repro.morphology.geometry.shared_geometry` cache is used.
     """
     if not flat:
         raise NotImplementedError("only flat cosmologies are supported, as in the paper")
@@ -78,27 +116,44 @@ def galmorph(
         return MorphologyResult(gid, valid=False, error="image HDU carries no data")
     try:
         data = np.asarray(image.data, dtype=float)
-        background = estimate_background(data)
-        subtracted = data - background.level
-        mask = central_source_mask(data, background)
-        if not mask.any():
-            return MorphologyResult(gid, valid=False, error="no significant central source")
-        center = source_centroid(subtracted, mask)
-        r_p = petrosian_radius(subtracted, center)
-        measure_radius = min(1.5 * r_p, min(data.shape) / 2.0 - 1.0)
-        if measure_radius <= 1.0:
-            return MorphologyResult(gid, valid=False, error="source unresolved at this pixel scale")
+        geom = geometry if geometry is not None else shared_geometry(data.shape)
+        with np.errstate(divide="raise", invalid="raise", over="raise", under="ignore"):
+            background = estimate_background(data)
+            subtracted = data - background.level
+            mask = central_source_mask(data, background)
+            if not mask.any():
+                return MorphologyResult(gid, valid=False, error="no significant central source")
+            center = source_centroid(subtracted, mask, geometry=geom)
+            r_p = petrosian_radius(subtracted, center, geometry=geom)
+            measure_radius = min(1.5 * r_p, min(data.shape) / 2.0 - 1.0)
+            if measure_radius <= 1.0:
+                return MorphologyResult(
+                    gid, valid=False, error="source unresolved at this pixel scale"
+                )
 
-        pixel_scale_arcsec = abs(pix_scale) * 3600.0
-        mu = average_surface_brightness(
-            subtracted, center, measure_radius, pixel_scale_arcsec, zero_point=zero_point
-        )
-        c = concentration_index(subtracted, center, measure_radius)
-        a = asymmetry_index(subtracted, center, measure_radius, background_sigma=background.sigma)
+            pixel_scale_arcsec = abs(pix_scale) * 3600.0
+            mu = average_surface_brightness(
+                subtracted,
+                center,
+                measure_radius,
+                pixel_scale_arcsec,
+                zero_point=zero_point,
+                geometry=geom,
+            )
+            c = concentration_index(subtracted, center, measure_radius, geometry=geom)
+            a = asymmetry_index(
+                subtracted,
+                center,
+                measure_radius,
+                background_sigma=background.sigma,
+                geometry=geom,
+            )
 
-        cosmo = FlatLambdaCDM(h0=ho, omega_m=om)
+        cosmo = _cosmology(float(ho), float(om))
         r_p_arcsec = r_p * pixel_scale_arcsec
-        r_p_kpc = r_p_arcsec * cosmo.kpc_per_arcsec(max(redshift, 0.0)) if redshift > 0 else float("nan")
+        r_p_kpc = (
+            r_p_arcsec * cosmo.kpc_per_arcsec(max(redshift, 0.0)) if redshift > 0 else float("nan")
+        )
         return MorphologyResult(
             galaxy_id=gid,
             valid=True,
@@ -108,5 +163,103 @@ def galmorph(
             petrosian_radius_arcsec=r_p_arcsec,
             petrosian_radius_kpc=r_p_kpc,
         )
-    except (ValueError, FloatingPointError) as exc:
+    except _MEASUREMENT_FAILURES as exc:
         return MorphologyResult(gid, valid=False, error=str(exc))
+
+
+@dataclass(frozen=True)
+class GalmorphTask:
+    """One galMorph invocation's inputs, batchable and picklable."""
+
+    image: ImageHDU
+    redshift: float
+    pix_scale: float
+    zero_point: float = 0.0
+    ho: float = 100.0
+    om: float = 0.3
+    flat: bool = True
+    galaxy_id: str | None = None
+
+
+def _run_task(task: GalmorphTask) -> MorphologyResult:
+    """Module-level task body (picklable for process pools); workers still
+    amortise geometry through the per-process shared cache."""
+    return galmorph(
+        task.image,
+        redshift=task.redshift,
+        pix_scale=task.pix_scale,
+        zero_point=task.zero_point,
+        ho=task.ho,
+        om=task.om,
+        flat=task.flat,
+        galaxy_id=task.galaxy_id,
+    )
+
+
+def galmorph_batch(
+    tasks: Iterable[GalmorphTask],
+    *,
+    processes: int | None = None,
+) -> list[MorphologyResult]:
+    """Run many galMorph jobs, amortising per-cutout setup.
+
+    Sequentially (the default) every task of a given cutout shape shares
+    one :class:`CutoutGeometry`, so index grids, radius maps, sorted-radius
+    permutations and aperture masks are built once per shape rather than
+    once per galaxy — the §5 campaign cuts all 1144 members to one shape.
+
+    With ``processes > 1`` the batch fans out over a
+    ``ProcessPoolExecutor``; each worker keeps its own per-shape geometry
+    cache.  Any pool failure (sandboxed fork, unpicklable payloads, broken
+    workers) falls back to the sequential shared-geometry path, so results
+    are always produced.  Output order matches input order in both modes.
+    """
+    task_list = list(tasks)
+    if processes is not None and processes > 1 and len(task_list) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                chunksize = max(1, len(task_list) // (processes * 4))
+                return list(pool.map(_run_task, task_list, chunksize=chunksize))
+        except NotImplementedError:
+            raise  # non-flat cosmology: same contract as the sequential path
+        except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError, RuntimeError):
+            pass  # fall back to the sequential shared-geometry path
+
+    geometries: dict[tuple[int, int], CutoutGeometry] = {}
+    results: list[MorphologyResult] = []
+    for task in task_list:
+        geom: CutoutGeometry | None = None
+        data = task.image.data
+        if data is not None and np.ndim(data) == 2:
+            shape = tuple(np.shape(data))
+            geom = geometries.get(shape)
+            if geom is None:
+                geom = geometries.setdefault(shape, shared_geometry(shape))
+        results.append(
+            galmorph(
+                task.image,
+                redshift=task.redshift,
+                pix_scale=task.pix_scale,
+                zero_point=task.zero_point,
+                ho=task.ho,
+                om=task.om,
+                flat=task.flat,
+                galaxy_id=task.galaxy_id,
+                geometry=geom,
+            )
+        )
+    return results
+
+
+def galmorph_batch_shapes(tasks: Sequence[GalmorphTask]) -> dict[tuple[int, int], int]:
+    """Histogram of cutout shapes in a batch — how much geometry sharing a
+    clustered node will get (diagnostic for reports/status pages)."""
+    shapes: dict[tuple[int, int], int] = {}
+    for task in tasks:
+        if task.image.data is not None and np.ndim(task.image.data) == 2:
+            shape = tuple(np.shape(task.image.data))
+            shapes[shape] = shapes.get(shape, 0) + 1
+    return shapes

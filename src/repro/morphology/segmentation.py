@@ -11,6 +11,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.morphology.background import BackgroundEstimate, estimate_background
+from repro.morphology.geometry import CutoutGeometry, index_grids
 
 
 def central_source_mask(
@@ -53,7 +54,11 @@ def central_source_mask(
     return mask
 
 
-def source_centroid(image: np.ndarray, mask: np.ndarray) -> tuple[float, float]:
+def source_centroid(
+    image: np.ndarray,
+    mask: np.ndarray,
+    geometry: CutoutGeometry | None = None,
+) -> tuple[float, float]:
     """Flux-weighted centroid (y, x) of the masked source, background-free
     flux assumed already subtracted by the caller."""
     if not mask.any():
@@ -62,5 +67,8 @@ def source_centroid(image: np.ndarray, mask: np.ndarray) -> tuple[float, float]:
     total = flux.sum()
     if total <= 0:
         raise ValueError("source has no positive flux")
-    yy, xx = np.indices(image.shape, dtype=float)
+    if geometry is not None and geometry.shape == tuple(image.shape):
+        yy, xx = geometry.yy, geometry.xx
+    else:
+        yy, xx = index_grids(tuple(image.shape))
     return float((flux * yy).sum() / total), float((flux * xx).sum() / total)

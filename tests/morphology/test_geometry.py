@@ -1,0 +1,146 @@
+"""Properties of the shared cutout-geometry cache.
+
+The cache is the hot-path backbone of the morphology pipeline and is
+shared across threads by :class:`repro.condor.local.LocalExecutor`, so its
+contracts are safety-critical: every handed-out array is **read-only**,
+repeated lookups hit the memo (identity, not just equality), the memo is
+bounded, and concurrent mixed-key access from a thread pool never corrupts
+a result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morphology.geometry import (
+    CutoutGeometry,
+    border_mask,
+    index_grids,
+    shared_geometry,
+)
+
+centers = st.tuples(
+    st.floats(0.0, 63.0, allow_nan=False), st.floats(0.0, 63.0, allow_nan=False)
+)
+
+
+class TestValues:
+    def test_index_grids_match_numpy(self):
+        yy, xx = index_grids((5, 7))
+        ryy, rxx = np.indices((5, 7), dtype=float)
+        np.testing.assert_array_equal(yy, ryy)
+        np.testing.assert_array_equal(xx, rxx)
+
+    def test_border_mask_matches_manual(self):
+        mask = border_mask((6, 8), 2)
+        manual = np.zeros((6, 8), dtype=bool)
+        manual[:2] = manual[-2:] = True
+        manual[:, :2] = manual[:, -2:] = True
+        np.testing.assert_array_equal(mask, manual)
+
+    @given(center=centers, radius=st.floats(0.5, 40.0, allow_nan=False))
+    def test_aperture_matches_inline_computation(self, center, radius):
+        geom = CutoutGeometry((64, 64))
+        yy, xx = np.indices((64, 64), dtype=float)
+        expected = np.hypot(yy - center[0], xx - center[1]) <= radius
+        np.testing.assert_array_equal(geom.aperture_mask(center, radius), expected)
+        assert geom.aperture_npix(center, radius) == int(expected.sum())
+        np.testing.assert_array_equal(
+            geom.aperture_weights(center, radius), expected.ravel().astype(float)
+        )
+
+    @given(center=centers)
+    def test_sorted_radii_is_a_permutation(self, center):
+        geom = CutoutGeometry((32, 32))
+        r_sorted, order = geom.sorted_radii(center)
+        assert np.all(np.diff(r_sorted) >= 0.0)
+        np.testing.assert_array_equal(np.sort(order), np.arange(32 * 32))
+        np.testing.assert_allclose(geom.radius_map(center).ravel()[order], r_sorted)
+
+    def test_radial_bin_counts_consistent(self):
+        geom = CutoutGeometry((48, 48))
+        flat_idx, nbins, counts = geom.radial_bin_index((23.5, 23.5), 1.0)
+        assert counts.shape == (nbins,)
+        assert counts.sum() == (flat_idx < nbins).sum()
+
+    def test_rejects_non_2d_shape(self):
+        with pytest.raises(ValueError):
+            CutoutGeometry((4, 4, 4))
+
+
+class TestReadOnly:
+    """Every cached product refuses mutation — the sharing contract."""
+
+    def test_all_products_readonly(self):
+        geom = CutoutGeometry((16, 16))
+        center = (7.5, 7.5)
+        r_sorted, order = geom.sorted_radii(center)
+        flat_idx, _, counts = geom.radial_bin_index(center, 1.0)
+        arrays = [
+            geom.yy, geom.xx,
+            geom.radius_map(center),
+            r_sorted, order,
+            geom.aperture_mask(center, 5.0),
+            geom.aperture_weights(center, 5.0),
+            flat_idx, counts,
+            border_mask((16, 16), 2),
+        ]
+        for arr in arrays:
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[tuple(0 for _ in arr.shape)] = 1
+
+
+class TestMemoisation:
+    def test_repeat_lookups_return_same_object(self):
+        geom = CutoutGeometry((16, 16))
+        center = (7.5, 7.5)
+        assert geom.radius_map(center) is geom.radius_map(center)
+        assert geom.aperture_mask(center, 5.0) is geom.aperture_mask(center, 5.0)
+        assert geom.sorted_radii(center)[0] is geom.sorted_radii(center)[0]
+
+    def test_nearby_radii_share_a_mask(self):
+        """Radii within the 1e-9 parity tolerance key to one mask."""
+        geom = CutoutGeometry((16, 16))
+        assert geom.aperture_mask((7.5, 7.5), 5.0) is geom.aperture_mask(
+            (7.5, 7.5), 5.0 + 1e-12
+        )
+
+    def test_memo_is_bounded(self):
+        geom = CutoutGeometry((8, 8), max_entries=4)
+        for i in range(10):
+            geom.radius_map((float(i), 0.0))
+        assert len(geom._radius_maps) <= 4
+
+    def test_shared_geometry_per_shape(self):
+        assert shared_geometry((16, 16)) is shared_geometry((16, 16))
+        assert shared_geometry((16, 16)) is not shared_geometry((16, 17))
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_key_access(self):
+        """Hammer one instance from a thread pool with overlapping keys;
+        every returned array must equal a freshly computed truth."""
+        geom = CutoutGeometry((32, 32), max_entries=8)
+        yy, xx = np.indices((32, 32), dtype=float)
+
+        def worker(i: int) -> bool:
+            center = (float(i % 5) + 0.5, float(i % 3) + 0.5)
+            radius = 3.0 + (i % 4)
+            mask = geom.aperture_mask(center, radius)
+            expected = np.hypot(yy - center[0], xx - center[1]) <= radius
+            r_sorted, order = geom.sorted_radii(center)
+            return (
+                bool(np.array_equal(mask, expected))
+                and geom.aperture_npix(center, radius) == int(expected.sum())
+                and bool(np.all(np.diff(r_sorted) >= 0.0))
+                and not mask.flags.writeable
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(worker, range(200)))
