@@ -53,6 +53,15 @@ TRAJECTORY = REPO_ROOT / "BENCH_morphology.json"
 #: Acceptance floors from the fast-path PR; ``--check`` enforces them.
 FLOORS = {"galmorph_64": 2.0, "asymmetry_128": 3.0}
 
+#: Max disabled-telemetry instrumentation cost per galmorph call, relative
+#: to the measured fast-path kernel time (the observability PR's 2% gate).
+OVERHEAD_BUDGET = 0.02
+
+#: Guarded telemetry calls on the per-galaxy hot path (one galmorph.galaxy
+#: span + kernel counters + the geometry-cache hit/miss counters a typical
+#: measurement drives).  Deliberately generous.
+GUARDED_CALLS_PER_GALMORPH = 64
+
 
 def _time(fn, repeats: int) -> float:
     """Best-of-``repeats`` wall time of ``fn()`` in milliseconds."""
@@ -161,6 +170,62 @@ def run(repeats: int) -> dict[str, dict[str, float]]:
     return results
 
 
+def measure_disabled_overhead() -> dict[str, float]:
+    """Per-call cost of *disabled* telemetry helpers, in nanoseconds.
+
+    Times a tight loop over the exact guarded helpers the hot paths call
+    (``trace_span`` + ``count``) with telemetry off; the gate scales this
+    by :data:`GUARDED_CALLS_PER_GALMORPH` and compares against the
+    measured ``galmorph_64`` fast time.
+    """
+    from repro import telemetry
+
+    telemetry.disable()
+    n = 200_000
+
+    def loop() -> None:
+        span = telemetry.trace_span
+        count = telemetry.count
+        for _ in range(n):
+            with span("bench.overhead", k=1):
+                pass
+            count("bench_overhead_total", kind="x")
+
+    loop()  # warm
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        loop()
+        best = min(best, time.perf_counter() - t0)
+    # each iteration = 1 span + 1 counter = 2 guarded calls
+    return {"per_call_ns": best / (2 * n) * 1e9}
+
+
+def telemetry_snapshot() -> dict[str, object]:
+    """Run a small traced batch and snapshot its metrics for the history.
+
+    Also proves the exporters stay parseable on every bench run: the
+    Prometheus text is fed back through the strict parser.
+    """
+    from repro import telemetry
+    from repro.telemetry.exporters import parse_prometheus_text
+
+    telemetry.enable()
+    try:
+        galmorph_batch(_batch_tasks(4))
+        spans = telemetry.get_tracer().spans()
+        prom = telemetry.prometheus_text()
+        parsed = parse_prometheus_text(prom)  # raises if the format regresses
+        rows = telemetry.get_registry().get("galmorph_rows_total")
+        return {
+            "spans": len(spans),
+            "metric_families": len(parsed),
+            "galmorph_rows": rows.total() if rows is not None else 0.0,
+        }
+    finally:
+        telemetry.disable()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -169,10 +234,26 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail (exit 1) if a speedup floor is missed")
     parser.add_argument("--out", type=Path, default=TRAJECTORY,
                         help=f"trajectory file (default {TRAJECTORY})")
+    parser.add_argument("--overhead-check", action="store_true",
+                        help="fail (exit 1) if disabled-telemetry overhead "
+                             f"exceeds {OVERHEAD_BUDGET:.0%} of galmorph_64 fast time")
     args = parser.parse_args(argv)
 
     repeats = 3 if args.quick else 15
     results = run(repeats)
+
+    overhead = measure_disabled_overhead()
+    per_galmorph_ms = overhead["per_call_ns"] * GUARDED_CALLS_PER_GALMORPH / 1e6
+    fast_ms = results["galmorph_64"]["fast_ms"]
+    overhead_frac = per_galmorph_ms / fast_ms
+    print(f"\ndisabled-telemetry overhead: {overhead['per_call_ns']:.0f} ns/call, "
+          f"~{per_galmorph_ms:.4f} ms per galmorph "
+          f"({overhead_frac:.2%} of fast path, budget {OVERHEAD_BUDGET:.0%})")
+
+    snapshot = telemetry_snapshot()
+    print(f"telemetry snapshot: {snapshot['spans']} spans, "
+          f"{snapshot['metric_families']} metric families, "
+          f"{snapshot['galmorph_rows']:.0f} galmorph rows")
 
     history = {"history": []}
     if args.out.exists():
@@ -183,10 +264,20 @@ def main(argv: list[str] | None = None) -> int:
             "mode": "quick" if args.quick else "full",
             "repeats": repeats,
             "results": results,
+            "telemetry": {
+                "disabled_overhead_ns_per_call": round(overhead["per_call_ns"], 1),
+                "disabled_overhead_frac_of_galmorph": round(overhead_frac, 5),
+                **snapshot,
+            },
         }
     )
     args.out.write_text(json.dumps(history, indent=2) + "\n")
     print(f"\nwrote {args.out} ({len(history['history'])} entries)")
+
+    if overhead_frac > OVERHEAD_BUDGET:
+        print(f"OVERHEAD BUDGET MISSED: {overhead_frac:.2%} > {OVERHEAD_BUDGET:.0%}")
+        if args.overhead_check:
+            return 1
 
     failed = {
         name: (results[name]["speedup"], floor)

@@ -8,6 +8,8 @@ Subcommands mirror what an NVO user (or the paper's reader) would do::
     python -m repro dressler A2029           # Figure 7, in ASCII
     python -m repro registry                 # Table 1
     python -m repro explain A3526 A3526-0001.txt   # provenance of a file
+    python -m repro analyze A3526 --trace run.jsonl --report
+    python -m repro telemetry report run.jsonl     # timeline + critical path
 """
 
 from __future__ import annotations
@@ -15,6 +17,60 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+
+def _telemetry_begin(args: argparse.Namespace) -> bool:
+    """Enable telemetry when any collection flag (or the env var) asks."""
+    from repro import telemetry
+
+    wanted = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "report", False)
+        or telemetry.env_enabled()
+    )
+    if wanted:
+        telemetry.enable()
+    return wanted
+
+
+def _telemetry_end(args: argparse.Namespace, active: bool) -> None:
+    """Export whatever the run collected, then switch telemetry off."""
+    if not active:
+        return
+    from repro import telemetry
+
+    telemetry.disable()
+    tracer = telemetry.get_tracer()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        tracer.export_jsonl(trace_path)
+        print(f"trace: {len(tracer)} span(s) -> {trace_path}")
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(telemetry.prometheus_text())
+        print(f"metrics -> {metrics_path}")
+    if getattr(args, "report", False):
+        from repro.telemetry.report import render_report
+
+        print()
+        print(render_report(tracer.spans(), top=getattr(args, "top", 5)), end="")
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="collect a span trace and export it as JSONL",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export run metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the telemetry run report after the command",
+    )
 
 
 def _env(clusters=None, **kwargs):
@@ -49,6 +105,7 @@ def cmd_registry(_: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    traced = _telemetry_begin(args)
     env = _env([args.cluster])
     t0 = time.time()
     session = env.portal.run_analysis(args.cluster)
@@ -67,12 +124,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             a = f"{row['asymmetry']:.3f}" if row["asymmetry"] is not None else "-"
             mu = f"{row['surface_brightness']:.2f}" if row["surface_brightness"] is not None else "-"
             print(f"{row['id']:<14s} {c:>6s} {a:>7s} {mu:>8s} {str(row['valid']):>6s}")
+    _telemetry_end(args, traced)
     return 0
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.portal.campaign import run_campaign
 
+    traced = _telemetry_begin(args)
     env = _env(site_selection=args.site_selection)
     t0 = time.time()
     report = run_campaign(env)
@@ -80,6 +139,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(f"\nwall time: {time.time() - t0:.1f}s; pools: {', '.join(report.pools_used())}")
     ok = [r.analysis.rediscovered for r in report.records if r.analysis]
     print(f"Dressler relation rediscovered in {sum(ok)}/{len(ok)} clusters")
+    _telemetry_end(args, traced)
     return 0
 
 
@@ -153,6 +213,23 @@ def cmd_overlay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    """Render the run report from a trace JSONL (or run the selftest)."""
+    from repro.telemetry.report import render_report
+    from repro.telemetry.tracing import load_trace_jsonl
+
+    if args.selftest:
+        from repro.telemetry.selftest import run_selftest
+
+        return run_selftest(verbose=not args.quiet)
+    if not args.trace_file:
+        print("error: provide a trace JSONL file or --selftest", file=sys.stderr)
+        return 2
+    spans = load_trace_jsonl(args.trace_file)
+    print(render_report(spans, top=args.top), end="")
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     env = _env([args.cluster])
     env.portal.run_analysis(args.cluster)
@@ -173,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="run the full portal flow for one cluster")
     p.add_argument("cluster")
     p.add_argument("--table", action="store_true", help="print the per-galaxy results")
+    _add_telemetry_options(p)
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("campaign", help="run the full eight-cluster §5 campaign")
@@ -181,7 +259,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="round-robin",
         choices=("random", "round-robin", "least-loaded"),
     )
+    _add_telemetry_options(p)
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("telemetry", help="trace/metrics tooling")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tr = tsub.add_parser("report", help="render a run report from a trace JSONL")
+    tr.add_argument("trace_file", nargs="?", default=None, help="trace JSONL path")
+    tr.add_argument("--top", type=int, default=5, help="slowest-node count")
+    tr.add_argument(
+        "--selftest", action="store_true",
+        help="exercise the report pipeline on an embedded reference trace",
+    )
+    tr.add_argument("--quiet", action="store_true", help="selftest: suppress the rendered report")
+    tr.set_defaults(fn=cmd_telemetry_report)
 
     p = sub.add_parser("dressler", help="Figure 7 analysis + ASCII overlay")
     p.add_argument("cluster")

@@ -11,11 +11,13 @@ DAGMan state transitions confined to the driver thread.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
+from repro import telemetry
 from repro.condor.dagman import DagmanState, NodeStatus
 from repro.condor.gram import GramGateway, GridCredential
 from repro.condor.report import ExecutionReport, NodeRun
@@ -32,6 +34,20 @@ from repro.workflow.concrete import (
     RegistrationNode,
     TransferNode,
 )
+
+def _payload_kind(payload: object) -> str:
+    if isinstance(payload, (ComputeNode, ClusteredComputeNode)):
+        return "compute"
+    if isinstance(payload, TransferNode):
+        return "transfer"
+    return "registration"
+
+
+def _payload_site(payload: object) -> str:
+    if isinstance(payload, TransferNode):
+        return payload.dest_site
+    return payload.site  # type: ignore[union-attr]
+
 
 #: A transformation body: (job, inputs by lfn) -> outputs by lfn.
 Executable = Callable[[AbstractJob, dict[str, bytes]], dict[str, bytes]]
@@ -229,6 +245,25 @@ class LocalExecutor:
             return 0
         raise TypeError(f"unknown node payload {type(payload).__name__}")
 
+    def _traced_run_node(
+        self, workflow: ConcreteWorkflow, node_id: str, payload: object, attempt: int
+    ) -> int:
+        """Worker-thread body with a per-node span around :meth:`_run_node`.
+
+        Submitted through ``contextvars.copy_context().run`` so the span
+        parents to the driver's open ``condor.execute`` span even though
+        :class:`ThreadPoolExecutor` does not propagate contextvars itself.
+        """
+        with telemetry.trace_span(
+            "condor.node",
+            node=node_id,
+            kind=_payload_kind(payload),
+            site=_payload_site(payload),
+            attempts=attempt,
+            deps=sorted(workflow.dag.parents(node_id)),
+        ):
+            return self._run_node(payload)
+
     # -- the driver loop -----------------------------------------------------------
     def execute(
         self, workflow: ConcreteWorkflow, completed: set[str] | None = None
@@ -236,6 +271,20 @@ class LocalExecutor:
         """Run the workflow to completion; never raises for job failures —
         DAGMan semantics report them instead.  ``completed`` resumes from a
         rescue DAG, skipping the nodes an earlier run finished."""
+        with telemetry.trace_span(
+            "condor.execute", mode="local", nodes=len(workflow)
+        ) as span:
+            report = self._execute_impl(workflow, completed)
+            span.set(
+                succeeded=report.succeeded,
+                makespan=report.makespan,
+                retries=report.retries,
+            )
+        return report
+
+    def _execute_impl(
+        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+    ) -> ExecutionReport:
         dagman = DagmanState(workflow.dag, max_retries=self.max_retries, completed=completed)
         report = ExecutionReport()
         t0 = time.perf_counter()
@@ -253,7 +302,19 @@ class LocalExecutor:
                     dagman.mark_running(node_id)
                     first_start.setdefault(node_id, now())
                     payload = workflow.dag.payload(node_id)
-                    future = pool.submit(self._run_node, payload)
+                    if telemetry.enabled():
+                        # a copied Context can be entered once, so copy per task
+                        ctx = contextvars.copy_context()
+                        future = pool.submit(
+                            ctx.run,
+                            self._traced_run_node,
+                            workflow,
+                            node_id,
+                            payload,
+                            dagman.attempts[node_id],
+                        )
+                    else:
+                        future = pool.submit(self._run_node, payload)
                     in_flight[future] = node_id
 
             launch_ready()
@@ -265,10 +326,12 @@ class LocalExecutor:
                     exc = future.exception()
                     if exc is None:
                         dagman.mark_success(node_id)
+                        telemetry.count("workflow_nodes_total", state="succeeded")
                         if isinstance(payload, TransferNode):
                             key = payload.kind.value
                             report.transfer_counts[key] = report.transfer_counts.get(key, 0) + 1
                             report.bytes_moved += future.result()
+                            telemetry.count("workflow_bytes_moved_total", future.result())
                         self._record_run(report, dagman, payload, node_id, first_start, now(), True, "")
                     else:
                         will_retry = dagman.mark_failure(node_id)
@@ -278,7 +341,9 @@ class LocalExecutor:
                         )
                         if will_retry:
                             retries += 1
+                            telemetry.count("workflow_retries_total")
                         else:
+                            telemetry.count("workflow_nodes_total", state="failed")
                             self._record_run(
                                 report, dagman, payload, node_id, first_start, now(), False, str(exc)
                             )

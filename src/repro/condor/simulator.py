@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.condor.dagman import DagmanState, NodeStatus
 from repro.condor.pool import GridTopology
 from repro.condor.report import ExecutionReport, NodeRun
@@ -135,6 +136,20 @@ class GridSimulator:
 
         ``completed`` resumes from a rescue DAG: those nodes are skipped.
         """
+        with telemetry.trace_span(
+            "condor.execute", mode="simulate", nodes=len(workflow)
+        ) as span:
+            report = self._execute_impl(workflow, completed)
+            span.set(
+                succeeded=report.succeeded,
+                makespan=report.makespan,
+                retries=report.retries,
+            )
+        return report
+
+    def _execute_impl(
+        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+    ) -> ExecutionReport:
         dagman = DagmanState(
             workflow.dag, max_retries=self.options.max_retries, completed=completed
         )
@@ -173,6 +188,26 @@ class GridSimulator:
                 return payload.site
             raise TypeError(type(payload).__name__)
 
+        def record_node(node_id: str, payload: object, attempt: int, success: bool) -> None:
+            """Publish the finished node as a synthetic sim-clock span."""
+            if not telemetry.enabled():
+                return
+            telemetry.record_span(
+                "condor.node",
+                first_start[node_id],
+                clock,
+                status="ok" if success else "error",
+                clock="sim",
+                node=node_id,
+                kind=_kind(payload),
+                site=site_of(payload),
+                attempts=attempt,
+                deps=sorted(workflow.dag.parents(node_id)),
+            )
+            telemetry.count(
+                "workflow_nodes_total", state="succeeded" if success else "failed"
+            )
+
         def try_start(node_id: str) -> bool:
             payload = workflow.dag.payload(node_id)
             if isinstance(payload, (ComputeNode, ClusteredComputeNode)) and payload.site in slots_busy:
@@ -205,7 +240,9 @@ class GridSimulator:
                 self.events.emit(clock, "simulator", "node-failed", node=node_id, attempt=attempt, retry=will_retry)
                 if will_retry:
                     retries += 1
+                    telemetry.count("workflow_retries_total")
                 else:
+                    record_node(node_id, payload, attempt, success=False)
                     report.runs.append(
                         NodeRun(
                             node_id=node_id,
@@ -219,6 +256,7 @@ class GridSimulator:
                     )
             else:
                 dagman.mark_success(node_id)
+                record_node(node_id, payload, attempt, success=True)
                 report.runs.append(
                     NodeRun(
                         node_id=node_id,

@@ -28,6 +28,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = [
     "CutoutGeometry",
     "index_grids",
@@ -107,11 +109,22 @@ class CutoutGeometry:
     def _get(self, table: OrderedDict, key, compute):
         """LRU lookup with bounded size; values are computed outside the
         fast path at most once per key (benign duplicate computation under
-        a race is prevented by the lock)."""
+        a race is prevented by the lock).
+
+        Hit/miss traffic feeds the ``geometry_cache_{hits,misses}_total``
+        counters when telemetry is enabled; disabled, the cost is one
+        flag test per lookup.
+        """
         with self._lock:
             if key in table:
                 table.move_to_end(key)
-                return table[key]
+                value = table[key]
+            else:
+                value = None
+        if value is not None:
+            telemetry.count("geometry_cache_hits_total")
+            return value
+        telemetry.count("geometry_cache_misses_total")
         value = compute()
         with self._lock:
             if key not in table:

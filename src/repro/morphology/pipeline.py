@@ -21,12 +21,14 @@ fanning out over a ``ProcessPoolExecutor``.  Clustered compute nodes in
 from __future__ import annotations
 
 import pickle
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 
 import numpy as np
 
+from repro import telemetry
 from repro.catalog.cosmology import FlatLambdaCDM
 from repro.fits.hdu import ImageHDU
 from repro.morphology.background import estimate_background
@@ -108,7 +110,44 @@ def galmorph(
     ``geometry`` lets batch callers share one cutout-geometry cache across
     galaxies of the same shape; when omitted the process-wide
     :func:`~repro.morphology.geometry.shared_geometry` cache is used.
+
+    With telemetry enabled each call opens a ``galmorph.galaxy`` span,
+    observes ``galmorph_seconds`` and counts ``valid=False`` rows in
+    ``galmorph_invalid_rows_total`` (the §4.3.1(4) failure accounting —
+    bad cutouts no longer vanish silently).  Disabled, the only cost is
+    one flag test.
     """
+    if not telemetry.enabled():
+        return _galmorph_impl(
+            image, redshift, pix_scale, zero_point, ho, om, flat, galaxy_id, geometry
+        )
+    with telemetry.trace_span("galmorph.galaxy") as span:
+        t0 = time.perf_counter()
+        result = _galmorph_impl(
+            image, redshift, pix_scale, zero_point, ho, om, flat, galaxy_id, geometry
+        )
+        elapsed = time.perf_counter() - t0
+        telemetry.observe("galmorph_seconds", elapsed)
+        telemetry.count("galmorph_rows_total", valid=str(result.valid).lower())
+        span.set(galaxy=result.galaxy_id, valid=result.valid)
+        if not result.valid:
+            telemetry.count("galmorph_invalid_rows_total")
+            span.set(error=result.error)
+    return result
+
+
+def _galmorph_impl(
+    image: ImageHDU,
+    redshift: float,
+    pix_scale: float,
+    zero_point: float = 0.0,
+    ho: float = 100.0,
+    om: float = 0.3,
+    flat: bool = True,
+    galaxy_id: str | None = None,
+    geometry: CutoutGeometry | None = None,
+) -> MorphologyResult:
+    """The measurement body of :func:`galmorph` (untraced)."""
     if not flat:
         raise NotImplementedError("only flat cosmologies are supported, as in the paper")
     gid = galaxy_id if galaxy_id is not None else str(image.header.get("OBJECT", "unknown"))
@@ -196,6 +235,20 @@ def _run_task(task: GalmorphTask) -> MorphologyResult:
     )
 
 
+def _run_task_remote(
+    payload: tuple[GalmorphTask, "telemetry.TraceContext | None"],
+) -> tuple[MorphologyResult, list, dict]:
+    """Worker-process task body with trace-context re-attachment.
+
+    The parent ships its :class:`~repro.telemetry.TraceContext` with every
+    task; spans opened in the worker carry the parent's trace id, and the
+    worker's span records + metric deltas travel home in the return value
+    for the parent to ingest/merge.
+    """
+    task, ctx = payload
+    return telemetry.run_with_context(ctx, _run_task, task)
+
+
 def galmorph_batch(
     tasks: Iterable[GalmorphTask],
     *,
@@ -215,14 +268,36 @@ def galmorph_batch(
     are always produced.  Output order matches input order in both modes.
     """
     task_list = list(tasks)
+    batch_span = telemetry.trace_span(
+        "galmorph.batch", n=len(task_list), processes=processes or 1
+    )
+    with batch_span:
+        return _galmorph_batch_impl(task_list, processes=processes)
+
+
+def _galmorph_batch_impl(
+    task_list: list[GalmorphTask], *, processes: int | None
+) -> list[MorphologyResult]:
     if processes is not None and processes > 1 and len(task_list) > 1:
         try:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
 
+            ctx = telemetry.capture_context()
             with ProcessPoolExecutor(max_workers=processes) as pool:
                 chunksize = max(1, len(task_list) // (processes * 4))
-                return list(pool.map(_run_task, task_list, chunksize=chunksize))
+                if ctx is None:
+                    return list(pool.map(_run_task, task_list, chunksize=chunksize))
+                # traced: ship the parent context out, bring spans/metrics home
+                payloads = [(task, ctx) for task in task_list]
+                bundles = list(pool.map(_run_task_remote, payloads, chunksize=chunksize))
+            results: list[MorphologyResult] = []
+            tracer, registry = telemetry.get_tracer(), telemetry.get_registry()
+            for result, spans, metric_dump in bundles:
+                tracer.ingest(spans)
+                registry.merge(metric_dump)
+                results.append(result)
+            return results
         except NotImplementedError:
             raise  # non-flat cosmology: same contract as the sequential path
         except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError, RuntimeError):

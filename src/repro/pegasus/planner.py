@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro import telemetry
 from repro.pegasus.concretizer import Concretizer, PfnResolver, SizeEstimator, default_pfn_resolver, _zero_size
 from repro.pegasus.options import PlannerOptions
 from repro.pegasus.reduction import ReductionResult, reduce_workflow
@@ -77,65 +78,83 @@ class PegasusPlanner:
         emit = self.events.emit
         requested = set(requested_lfns) if requested_lfns is not None else workflow.final_products()
 
-        emit(0.0, "pegasus", "abstract-workflow-received", jobs=len(workflow))
-        emit(0.0, "pegasus", "request-manager-dispatch", requested=sorted(requested))
+        with telemetry.trace_span("pegasus.plan", jobs=len(workflow)) as plan_span:
+            telemetry.count("pegasus_plans_total")
+            emit(0.0, "pegasus", "abstract-workflow-received", jobs=len(workflow))
+            emit(0.0, "pegasus", "request-manager-dispatch", requested=sorted(requested))
 
-        # (3)/(4): resolve the workflow's logical file universe against the RLS.
-        lfns = sorted(workflow.required_inputs() | workflow.products())
-        replicas = self.rls.lookup_many(lfns)
-        emit(
-            0.0, "pegasus", "rls-resolution",
-            logical=len(lfns), physical=sum(len(v) for v in replicas.values()),
-        )
+            # (3)/(4): resolve the workflow's logical file universe against the RLS.
+            with telemetry.trace_span("pegasus.rls_resolution") as span:
+                lfns = sorted(workflow.required_inputs() | workflow.products())
+                replicas = self.rls.lookup_many(lfns)
+                physical = sum(len(v) for v in replicas.values())
+                span.set(logical=len(lfns), physical=physical)
+            emit(0.0, "pegasus", "rls-resolution", logical=len(lfns), physical=physical)
 
-        # (5) -> (6): abstract DAG reduction.
-        if self.options.enable_reduction:
-            reduction = reduce_workflow(workflow, self.rls, requested)
-        else:
-            reduction = ReductionResult(
-                workflow=workflow.copy(), pruned_jobs=(), reused_lfns=()
+            # (5) -> (6): abstract DAG reduction.
+            with telemetry.trace_span("pegasus.reduction") as span:
+                if self.options.enable_reduction:
+                    reduction = reduce_workflow(workflow, self.rls, requested)
+                else:
+                    reduction = ReductionResult(
+                        workflow=workflow.copy(), pruned_jobs=(), reused_lfns=()
+                    )
+                span.set(
+                    before=len(workflow), after=len(reduction.workflow),
+                    pruned=len(reduction.pruned_jobs), reused=len(reduction.reused_lfns),
+                )
+            telemetry.count("pegasus_nodes_eliminated_total", len(reduction.pruned_jobs))
+            telemetry.count("pegasus_lfns_reused_total", len(reduction.reused_lfns))
+            emit(
+                0.0, "pegasus", "dag-reduction",
+                before=len(workflow), after=len(reduction.workflow),
+                pruned=len(reduction.pruned_jobs), reused=len(reduction.reused_lfns),
             )
-        emit(
-            0.0, "pegasus", "dag-reduction",
-            before=len(workflow), after=len(reduction.workflow),
-            pruned=len(reduction.pruned_jobs), reused=len(reduction.reused_lfns),
-        )
 
-        # (7)/(8): transformation resolution against the TC.
-        transformations = sorted({j.transformation for j in reduction.workflow.jobs()})
-        resolved = {t: self.tc.sites_providing(t) for t in transformations}
-        emit(
-            0.0, "pegasus", "tc-resolution",
-            transformations=len(transformations),
-            installations=sum(len(v) for v in resolved.values()),
-        )
-
-        # (9)/(10): concrete workflow generation.
-        if self.site_selector_factory is not None:
-            selector = self.site_selector_factory()
-        else:
-            selector = make_site_selector(
-                self.options.site_selection,
-                seed=self.options.seed,
-                capacities=self.site_capacities or None,
+            # (7)/(8): transformation resolution against the TC.
+            with telemetry.trace_span("pegasus.tc_resolution") as span:
+                transformations = sorted({j.transformation for j in reduction.workflow.jobs()})
+                resolved = {t: self.tc.sites_providing(t) for t in transformations}
+                installations = sum(len(v) for v in resolved.values())
+                span.set(transformations=len(transformations), installations=installations)
+            emit(
+                0.0, "pegasus", "tc-resolution",
+                transformations=len(transformations), installations=installations,
             )
-        concretizer = Concretizer(
-            rls=self.rls,
-            tc=self.tc,
-            options=self.options,
-            site_selector=selector,
-            pfn_resolver=self.pfn_resolver,
-            size_estimator=self.size_estimator,
-        )
-        concrete = concretizer.concretize(
-            reduction.workflow,
-            requested_lfns=requested,
-            reused_lfns=set(reduction.reused_lfns),
-        )
-        emit(0.0, "pegasus", "concrete-workflow", **concrete.stats())
 
-        # (11): submit files for Condor-G / DAGMan.
-        submit = generate_submit_files(concrete)
-        emit(0.0, "pegasus", "submit-files-generated", count=len(submit))
+            # (9)/(10): concrete workflow generation.
+            with telemetry.trace_span("pegasus.concretize") as span:
+                if self.site_selector_factory is not None:
+                    selector = self.site_selector_factory()
+                else:
+                    selector = make_site_selector(
+                        self.options.site_selection,
+                        seed=self.options.seed,
+                        capacities=self.site_capacities or None,
+                    )
+                concretizer = Concretizer(
+                    rls=self.rls,
+                    tc=self.tc,
+                    options=self.options,
+                    site_selector=selector,
+                    pfn_resolver=self.pfn_resolver,
+                    size_estimator=self.size_estimator,
+                )
+                concrete = concretizer.concretize(
+                    reduction.workflow,
+                    requested_lfns=requested,
+                    reused_lfns=set(reduction.reused_lfns),
+                )
+                span.set(**concrete.stats())
+            emit(0.0, "pegasus", "concrete-workflow", **concrete.stats())
+
+            # (11): submit files for Condor-G / DAGMan.
+            with telemetry.trace_span("pegasus.submit_files") as span:
+                submit = generate_submit_files(concrete)
+                span.set(count=len(submit))
+            emit(0.0, "pegasus", "submit-files-generated", count=len(submit))
+            plan_span.set(
+                concrete_nodes=len(concrete), pruned=len(reduction.pruned_jobs)
+            )
 
         return PlanResult(abstract=workflow, reduction=reduction, concrete=concrete, submit=submit)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.catalog.crossmatch import crossmatch_positions
 from repro.core.errors import ServiceError
 from repro.services.conesearch import ConeSearchService
@@ -102,13 +103,15 @@ class GalaxyMorphologyPortal:
         session = PortalSession(cluster=cluster)
         self.events.emit(0.0, "portal", "cluster-selected", cluster=name)
 
-        field_size = 2.2 * cluster.tidal_radius_deg
-        request = SIARequest(ra=cluster.center.ra, dec=cluster.center.dec, size=field_size)
-        for archive in [self.optical_archive, *self.xray_archives]:
-            table = archive.query(request)
-            for row in table:
-                session.context_image_links.append(row["url"])
-                session.context_image_bytes += int(row["size_bytes"])
+        with telemetry.trace_span("portal.select_cluster", cluster=name) as span:
+            field_size = 2.2 * cluster.tidal_radius_deg
+            request = SIARequest(ra=cluster.center.ra, dec=cluster.center.dec, size=field_size)
+            for archive in [self.optical_archive, *self.xray_archives]:
+                table = archive.query(request)
+                for row in table:
+                    session.context_image_links.append(row["url"])
+                    session.context_image_bytes += int(row["size_bytes"])
+            span.set(images=session.n_context_images)
         self.events.emit(
             0.0, "portal", "context-images-found",
             cluster=name, images=session.n_context_images,
@@ -118,29 +121,31 @@ class GalaxyMorphologyPortal:
     def build_catalog(self, session: PortalSession) -> VOTable:
         """Cone-search both catalog services and merge by sky position."""
         cluster = session.cluster
-        cone = ConeSearchRequest(
-            ra=cluster.center.ra, dec=cluster.center.dec, sr=1.1 * cluster.tidal_radius_deg
-        )
-        phot = self.photometry_service.search(cone)
-        spec = self.redshift_service.search(cone)
-        pairs = crossmatch_positions(
-            phot["ra"], phot["dec"], spec["ra"], spec["dec"],
-            tolerance_arcsec=self.match_tolerance_arcsec,
-        )
-        catalog = VOTable(CATALOG_FIELDS, name=f"{cluster.name}-catalog")
-        for i_phot, i_spec in pairs:
-            prow, srow = phot.row(i_phot), spec.row(i_spec)
-            catalog.append(
-                {
-                    "id": prow["id"],
-                    "ra": prow["ra"],
-                    "dec": prow["dec"],
-                    "mag_r": prow["mag_r"],
-                    "color_gr": prow["color_gr"],
-                    "redshift": srow["redshift"],
-                    "velocity": srow["velocity"],
-                }
+        with telemetry.trace_span("portal.build_catalog", cluster=cluster.name) as span:
+            cone = ConeSearchRequest(
+                ra=cluster.center.ra, dec=cluster.center.dec, sr=1.1 * cluster.tidal_radius_deg
             )
+            phot = self.photometry_service.search(cone)
+            spec = self.redshift_service.search(cone)
+            pairs = crossmatch_positions(
+                phot["ra"], phot["dec"], spec["ra"], spec["dec"],
+                tolerance_arcsec=self.match_tolerance_arcsec,
+            )
+            catalog = VOTable(CATALOG_FIELDS, name=f"{cluster.name}-catalog")
+            for i_phot, i_spec in pairs:
+                prow, srow = phot.row(i_phot), spec.row(i_spec)
+                catalog.append(
+                    {
+                        "id": prow["id"],
+                        "ra": prow["ra"],
+                        "dec": prow["dec"],
+                        "mag_r": prow["mag_r"],
+                        "color_gr": prow["color_gr"],
+                        "redshift": srow["redshift"],
+                        "velocity": srow["velocity"],
+                    }
+                )
+            span.set(photometry=len(phot), spectroscopy=len(spec), matched=len(catalog))
         session.catalog = catalog
         self.events.emit(
             0.0, "portal", "catalog-built",
@@ -160,21 +165,25 @@ class GalaxyMorphologyPortal:
         """
         if session.catalog is None:
             raise ServiceError("build_catalog must run before resolve_cutouts")
-        requests = [
-            SIARequest(ra=row["ra"], dec=row["dec"], size=0.005) for row in session.catalog
-        ]
-        if batched:
-            tables = [self.cutout_service.query_batch(requests)] * len(requests)
-        else:
-            tables = [self.cutout_service.query(request) for request in requests]
-        urls: list[str] = []
-        scales: list[float] = []
-        for row, table in zip(session.catalog, tables):
-            matches = [r for r in table if r["title"] == row["id"]]
-            if not matches:
-                raise ServiceError(f"cutout service returned no image for {row['id']!r}")
-            urls.append(matches[0]["url"])
-            scales.append(matches[0]["scale"])
+        with telemetry.trace_span(
+            "portal.resolve_cutouts", cluster=session.cluster.name, batched=batched
+        ) as span:
+            requests = [
+                SIARequest(ra=row["ra"], dec=row["dec"], size=0.005) for row in session.catalog
+            ]
+            if batched:
+                tables = [self.cutout_service.query_batch(requests)] * len(requests)
+            else:
+                tables = [self.cutout_service.query(request) for request in requests]
+            urls: list[str] = []
+            scales: list[float] = []
+            for row, table in zip(session.catalog, tables):
+                matches = [r for r in table if r["title"] == row["id"]]
+                if not matches:
+                    raise ServiceError(f"cutout service returned no image for {row['id']!r}")
+                urls.append(matches[0]["url"])
+                scales.append(matches[0]["scale"])
+            span.set(resolved=len(urls))
         with_urls = add_column(session.catalog, Field("cutout_url", "char", ucd="meta.ref.url"), urls)
         session.input_votable = add_column(
             with_urls, Field("cutout_scale", "double", unit="deg/pix"), scales
@@ -187,21 +196,25 @@ class GalaxyMorphologyPortal:
         if session.input_votable is None:
             raise ServiceError("resolve_cutouts must run before submit_and_wait")
         out_name = f"{session.cluster.name}-morphology.vot"
-        session.status_url = self.compute_service.gal_morph_compute(
-            session.input_votable, out_name, session.cluster.name
-        )
-        self.events.emit(0.0, "portal", "compute-submitted", out=out_name)
-        message = self.compute_service.poll(session.status_url)
-        session.polls = 1
-        while not message.state in ("completed", "failed"):
-            if session.polls >= self.max_polls:
-                raise ServiceError(f"gave up polling after {session.polls} polls")
+        with telemetry.trace_span(
+            "portal.submit_and_wait", cluster=session.cluster.name, out=out_name
+        ) as span:
+            session.status_url = self.compute_service.gal_morph_compute(
+                session.input_votable, out_name, session.cluster.name
+            )
+            self.events.emit(0.0, "portal", "compute-submitted", out=out_name)
             message = self.compute_service.poll(session.status_url)
-            session.polls += 1
-        if message.state == "failed" or message.result_url is None:
-            raise ServiceError(f"compute service failed: {message.text}")
-        payload = self.compute_service.fetch_result(message.result_url)
-        session.result_table = parse_votable(payload.decode("utf-8"))
+            session.polls = 1
+            while not message.state in ("completed", "failed"):
+                if session.polls >= self.max_polls:
+                    raise ServiceError(f"gave up polling after {session.polls} polls")
+                message = self.compute_service.poll(session.status_url)
+                session.polls += 1
+            span.set(polls=session.polls, state=message.state)
+            if message.state == "failed" or message.result_url is None:
+                raise ServiceError(f"compute service failed: {message.text}")
+            payload = self.compute_service.fetch_result(message.result_url)
+            session.result_table = parse_votable(payload.decode("utf-8"))
         self.events.emit(0.0, "portal", "results-received", rows=len(session.result_table))
         return session.result_table
 
@@ -209,15 +222,28 @@ class GalaxyMorphologyPortal:
         """Join the computed parameters back into the galaxy catalog."""
         if session.input_votable is None or session.result_table is None:
             raise ServiceError("submit_and_wait must run before merge_results")
-        session.merged = inner_join(session.input_votable, session.result_table, on="id")
+        with telemetry.trace_span("portal.merge_results", cluster=session.cluster.name) as span:
+            session.merged = inner_join(session.input_votable, session.result_table, on="id")
+            span.set(rows=len(session.merged))
         self.events.emit(0.0, "portal", "results-merged", rows=len(session.merged))
         return session.merged
 
     def run_analysis(self, cluster_name: str) -> PortalSession:
-        """The complete Figure 5 flow for one cluster."""
-        session = self.select_cluster(cluster_name)
-        self.build_catalog(session)
-        self.resolve_cutouts(session)
-        self.submit_and_wait(session)
-        self.merge_results(session)
+        """The complete Figure 5 flow for one cluster.
+
+        With telemetry enabled the whole walk is one ``portal.run_analysis``
+        trace: every stage, service call, planner step, DAG node and
+        galMorph kernel below it parents back to this span.
+        """
+        with telemetry.trace_span("portal.run_analysis", cluster=cluster_name) as span:
+            telemetry.count("portal_sessions_total")
+            session = self.select_cluster(cluster_name)
+            self.build_catalog(session)
+            self.resolve_cutouts(session)
+            self.submit_and_wait(session)
+            self.merge_results(session)
+            span.set(
+                galaxies=len(session.merged) if session.merged is not None else 0,
+                polls=session.polls,
+            )
         return session

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.core.errors import ServiceError
 from repro.core.vds import VirtualDataSystem
 from repro.pegasus.planner import PlanResult
@@ -158,11 +159,16 @@ class GalaxyMorphologyService:
         self.requests[request_id] = state
         self.status.post(request_id, "accepted", f"request for {cluster_name} accepted")
         self.events.emit(0.0, "service", "request-accepted", cluster=cluster_name, out=out_name)
-        try:
-            self._process(state, vot)
-        except Exception as exc:  # service must never propagate to the portal
-            self.status.post(request_id, "failed", str(exc))
-            self.events.emit(0.0, "service", "request-failed", error=str(exc))
+        telemetry.count("service_requests_total", kind="galmorph-compute")
+        with telemetry.trace_span(
+            "service.request", cluster=cluster_name, out=out_name, galaxies=len(vot)
+        ) as span:
+            try:
+                self._process(state, vot)
+            except Exception as exc:  # service must never propagate to the portal
+                self.status.post(request_id, "failed", str(exc))
+                self.events.emit(0.0, "service", "request-failed", error=str(exc))
+            span.set(short_circuited=state.short_circuited)
         return status_url
 
     def poll(self, status_url: str) -> StatusMessage:
@@ -186,6 +192,7 @@ class GalaxyMorphologyService:
         # (2) the virtual-data short circuit
         if self.vds.rls.exists(state.out_name):
             state.short_circuited = True
+            telemetry.count("rls_short_circuits_total")
             self.events.emit(0.0, "service", "rls-short-circuit", out=state.out_name)
             self.status.post(
                 request_id, "completed",
@@ -229,17 +236,23 @@ class GalaxyMorphologyService:
     def _collect_images(self, state: ServiceRequestStatus, vot: VOTable) -> None:
         """Figure 6 step 3: download + cache + register each galaxy image."""
         cache = self.vds.sites[self.cache_site]
-        for galaxy_id, url in votable_to_url_list(vot):
-            image_lfn = f"{galaxy_id}.fit"
-            if self.vds.rls.exists(image_lfn):
-                state.images_cached += 1
-                continue  # already cached (or materialised elsewhere in the Grid)
-            content = self.fetch_url(url)
-            pfn = cache.pfn_for(image_lfn)
-            cache.put(pfn, content)
-            self.vds.rls.register(image_lfn, pfn, self.cache_site)
-            state.images_downloaded += 1
-            state.bytes_downloaded += len(content)
+        with telemetry.trace_span("service.collect_images", cluster=state.cluster) as span:
+            for galaxy_id, url in votable_to_url_list(vot):
+                image_lfn = f"{galaxy_id}.fit"
+                if self.vds.rls.exists(image_lfn):
+                    state.images_cached += 1
+                    continue  # already cached (or materialised elsewhere in the Grid)
+                content = self.fetch_url(url)
+                pfn = cache.pfn_for(image_lfn)
+                cache.put(pfn, content)
+                self.vds.rls.register(image_lfn, pfn, self.cache_site)
+                state.images_downloaded += 1
+                state.bytes_downloaded += len(content)
+            span.set(
+                downloaded=state.images_downloaded,
+                cached=state.images_cached,
+                bytes=state.bytes_downloaded,
+            )
         self.events.emit(
             0.0, "service", "images-collected",
             downloaded=state.images_downloaded, cached=state.images_cached,
@@ -247,6 +260,12 @@ class GalaxyMorphologyService:
 
     def _define_vdl(self, state: ServiceRequestStatus, vot: VOTable) -> None:
         """Figure 6 step 4; TR text only on the first request ever."""
+        with telemetry.trace_span(
+            "service.vdl_generate", cluster=state.cluster, galaxies=len(vot)
+        ):
+            self._define_vdl_impl(state, vot)
+
+    def _define_vdl_impl(self, state: ServiceRequestStatus, vot: VOTable) -> None:
         if not self._tr_defined:
             self.vds.define(GALMORPH_TR)
             self._tr_defined = True

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
+
+from repro import telemetry
 
 
 @dataclass(frozen=True)
@@ -19,6 +22,13 @@ class StatusMessage:
     state: str  # "accepted" | "running" | "completed" | "failed" | ...
     text: str = ""
     result_url: str | None = None
+
+    def as_record(self) -> dict[str, Any]:
+        """Structured (JSON-ready) form of the message."""
+        record: dict[str, Any] = {"state": self.state, "text": self.text}
+        if self.result_url is not None:
+            record["result_url"] = self.result_url
+        return record
 
 
 @dataclass
@@ -35,6 +45,10 @@ class StatusPage:
     @property
     def completed(self) -> bool:
         return self.latest.state in ("completed", "failed")
+
+    def as_records(self) -> list[dict[str, Any]]:
+        """The page's full history as structured records (newest last)."""
+        return [m.as_record() for m in self.messages]
 
 
 class StatusBoard:
@@ -59,6 +73,7 @@ class StatusBoard:
             if request_id not in self._pages:
                 raise KeyError(f"no status page for request {request_id!r}")
             self._pages[request_id].messages.append(StatusMessage(state, text, result_url))
+        telemetry.count("status_posts_total", state=state)
 
     def poll(self, status_url: str) -> StatusMessage:
         """What a GET of the status URL returns: the latest message."""
@@ -69,9 +84,21 @@ class StatusBoard:
                 raise KeyError(f"no status page at {status_url!r}")
             page = self._pages[request_id]
             if not page.messages:
-                return StatusMessage("accepted", "request received")
-            return page.latest
+                message = StatusMessage("accepted", "request received")
+            else:
+                message = page.latest
+        telemetry.count("status_polls_total")
+        return message
 
     def page(self, request_id: str) -> StatusPage:
         with self._lock:
             return self._pages[request_id]
+
+    def history(self) -> dict[str, list[dict[str, Any]]]:
+        """Structured history of every page (request id -> message records).
+
+        This is the machine-readable counterpart of polling: run reports
+        and tests consume it instead of re-parsing formatted status text.
+        """
+        with self._lock:
+            return {rid: page.as_records() for rid, page in self._pages.items()}

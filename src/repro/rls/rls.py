@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.utils.events import EventLog
 
 
@@ -98,6 +99,7 @@ class ReplicaLocationService:
         catalog.register(lfn, pfn)
         with self._lock:
             self._index.setdefault(lfn, set()).add(site)
+        telemetry.count("rls_registrations_total")
 
     def unregister(self, lfn: str, site: str, pfn: str | None = None) -> None:
         with self._lock:
@@ -124,12 +126,15 @@ class ReplicaLocationService:
             for catalog in catalogs
             for pfn in catalog.lookup(lfn)
         ]
+        telemetry.count("rls_lookup_hits_total" if replicas else "rls_lookup_misses_total")
         return replicas
 
     def exists(self, lfn: str) -> bool:
         with self._lock:
             self.query_count += 1
-            return lfn in self._index
+            found = lfn in self._index
+        telemetry.count("rls_lookup_hits_total" if found else "rls_lookup_misses_total")
+        return found
 
     def lookup_many(self, lfns: list[str]) -> dict[str, list[Replica]]:
         """Bulk query, as the planner issues for a whole workflow at once."""

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.catalog.coords import cone_contains
 from repro.services.protocol import ConeSearchRequest
 from repro.services.transport import CostMeter, TransportModel
@@ -46,6 +47,15 @@ class ConeSearchService(ABC):
 
     def search(self, request: ConeSearchRequest) -> VOTable:
         """Run the cone selection and charge the query to the meter."""
+        with telemetry.trace_span("service.cone_search", service=type(self).__name__) as span:
+            table = self._search_impl(request)
+            span.set(records=len(table))
+        telemetry.count(
+            "service_requests_total", kind="cone-search", service=type(self).__name__
+        )
+        return table
+
+    def _search_impl(self, request: ConeSearchRequest) -> VOTable:
         members = self._all_members()
         ra = np.array([m.ra for _, m in members])
         dec = np.array([m.dec for _, m in members])

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.catalog.coords import angular_separation_deg
 from repro.core.errors import ServiceError
 from repro.fits.io import write_fits_bytes
@@ -96,15 +97,25 @@ class CutoutSIAService:
         (tight) query per catalog row, which is the protocol inefficiency
         the campaign measures.
         """
-        table = VOTable(SIA_FIELDS, name="cutouts")
-        for row in self._query_rows(request):
-            table.append(row)
-        if self.meter is not None:
-            self.meter.charge("sia-query", self.transport.sia_query.time(256 * len(table)))
+        with telemetry.trace_span("service.cutout_query") as span:
+            table = VOTable(SIA_FIELDS, name="cutouts")
+            for row in self._query_rows(request):
+                table.append(row)
+            if self.meter is not None:
+                self.meter.charge("sia-query", self.transport.sia_query.time(256 * len(table)))
+            span.set(records=len(table))
+        telemetry.count("service_requests_total", kind="cutout-query")
         return table
 
     def fetch(self, url: str) -> bytes:
         """Render and download one cutout (one HTTP GET per galaxy)."""
+        with telemetry.trace_span("service.cutout_fetch") as span:
+            payload = self._fetch_impl(url)
+            span.set(bytes=len(payload))
+        telemetry.count("service_requests_total", kind="cutout-fetch")
+        return payload
+
+    def _fetch_impl(self, url: str) -> bytes:
         params = {k: v[0] for k, v in urllib.parse.parse_qs(urllib.parse.urlparse(url).query).items()}
         cluster_name = params.get("cluster", "")
         galaxy_id = params.get("id", "")
@@ -132,14 +143,17 @@ class CutoutSIAService:
         """
         if not requests:
             raise ServiceError("batch query requires at least one request")
-        merged = VOTable(SIA_FIELDS, name="cutouts")
-        for request in requests:
-            for row in self._query_rows(request):
-                merged.append(row)
-        if self.meter is not None:
-            self.meter.charge(
-                "sia-batch-query", self.transport.sia_query.time(256 * len(merged))
-            )
+        with telemetry.trace_span("service.cutout_query_batch", requests=len(requests)) as span:
+            merged = VOTable(SIA_FIELDS, name="cutouts")
+            for request in requests:
+                for row in self._query_rows(request):
+                    merged.append(row)
+            if self.meter is not None:
+                self.meter.charge(
+                    "sia-batch-query", self.transport.sia_query.time(256 * len(merged))
+                )
+            span.set(records=len(merged))
+        telemetry.count("service_requests_total", kind="cutout-query-batch")
         return merged
 
     def fetch_batch(self, urls: list[str]) -> list[bytes]:

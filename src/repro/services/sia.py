@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.errors import ServiceError
 from repro.fits.hdu import ImageHDU
 from repro.fits.header import Header
@@ -116,6 +117,13 @@ class SIAService(ABC):
 
     def query(self, request: SIARequest) -> VOTable:
         """All tiles whose centre lies within the requested box (+margin)."""
+        with telemetry.trace_span("service.sia_query", survey=self.survey) as span:
+            table = self._query_impl(request)
+            span.set(records=len(table))
+        telemetry.count("service_requests_total", kind="sia-query", survey=self.survey)
+        return table
+
+    def _query_impl(self, request: SIARequest) -> VOTable:
         table = VOTable(SIA_FIELDS, name=f"{self.survey}-images")
         for cluster in self.clusters.values():
             half = request.size / 2.0 + self._tile_span(cluster)
@@ -143,6 +151,13 @@ class SIAService(ABC):
 
     def fetch(self, url: str) -> bytes:
         """Download one image by its access URL (one HTTP GET per image)."""
+        with telemetry.trace_span("service.sia_fetch", survey=self.survey) as span:
+            payload = self._fetch_impl(url)
+            span.set(bytes=len(payload))
+        telemetry.count("service_requests_total", kind="sia-fetch", survey=self.survey)
+        return payload
+
+    def _fetch_impl(self, url: str) -> bytes:
         params = {k: v[0] for k, v in urllib.parse.parse_qs(urllib.parse.urlparse(url).query).items()}
         name = params.get("cluster")
         if name not in self.clusters:

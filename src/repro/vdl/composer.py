@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from repro import telemetry
 from repro.core.errors import WorkflowError
 from repro.vdl.ast import Derivation
 from repro.vdl.catalog import VirtualDataCatalog
@@ -44,6 +45,13 @@ def compose_workflow(
     requested = list(dict.fromkeys(requested_lfns))
     if not requested:
         raise WorkflowError("no logical files requested")
+    with telemetry.trace_span("vdl.compose", requested=len(requested)) as span:
+        workflow = _compose(catalog, requested)
+        span.set(jobs=len(workflow))
+    return workflow
+
+
+def _compose(catalog: VirtualDataCatalog, requested: list[str]) -> AbstractWorkflow:
 
     needed: dict[str, Derivation] = {}
     frontier: deque[str] = deque()
