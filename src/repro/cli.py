@@ -140,6 +140,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     ok = [r.analysis.rediscovered for r in report.records if r.analysis]
     print(f"Dressler relation rediscovered in {sum(ok)}/{len(ok)} clusters")
     _telemetry_end(args, traced)
+    if not report.succeeded:
+        failed = report.failed_clusters
+        print(
+            f"\nerror: {len(failed)} cluster(s) did not complete "
+            f"({report.failed_nodes} failed node(s), "
+            f"{report.unrunnable_nodes} unrunnable):",
+            file=sys.stderr,
+        )
+        print(report.failure_summary(), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -230,6 +240,122 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _coerce_option(text: str) -> object:
+    """``k=v`` values arrive as strings; recover numbers and booleans."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_options(pairs: list[str]) -> dict[str, object]:
+    options: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: option {pair!r} is not of the form key=value")
+        key, _, value = pair.partition("=")
+        options[key] = _coerce_option(value)
+    return options
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Queue one analysis job in the journal; ``repro serve`` drains it."""
+    from repro.scheduler import JobJournal, WorkloadManager
+
+    manager = WorkloadManager(runner=None, journal=JobJournal(args.journal))
+    record = manager.submit(
+        args.user, args.cluster, _parse_options(args.option), priority=args.priority
+    )
+    print(
+        f"queued {record.job_id}: user={record.spec.user} "
+        f"cluster={record.spec.cluster} priority={record.spec.priority} "
+        f"signature={record.signature}"
+    )
+    print(f"queue depth now {manager.queue_depth()} ({args.journal})")
+    return 0
+
+
+def cmd_queue(args: argparse.Namespace) -> int:
+    """Render the journal's replayed queue state."""
+    from repro.scheduler import JobJournal
+
+    state = JobJournal(args.journal).replay()
+    if not state.jobs:
+        print(f"queue is empty ({args.journal})")
+        return 0
+    print(
+        f"{'seq':>4s} {'job id':<18s} {'user':<10s} {'cluster':<10s} "
+        f"{'prio':>4s} {'state':<10s} {'cache':>5s} error"
+    )
+    counts: dict[str, int] = {}
+    for record in state.jobs.values():
+        counts[record.state.value] = counts.get(record.state.value, 0) + 1
+        print(
+            f"{record.seq:>4d} {record.job_id:<18s} {record.spec.user:<10s} "
+            f"{record.spec.cluster:<10s} {record.spec.priority:>4d} "
+            f"{record.state.value:<10s} {'yes' if record.cache_hit else '-':>5s} "
+            f"{record.error or ''}"
+        )
+    summary = ", ".join(f"{state_}={n}" for state_, n in sorted(counts.items()))
+    print(f"\n{len(state.jobs)} job(s): {summary}")
+    if state.usage:
+        usage = ", ".join(
+            f"{user}={cost:.2f}" for user, cost in sorted(state.usage.items())
+        )
+        print(f"charged usage (slot-seconds): {usage}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drain the journal's queued jobs on a shared demonstration Grid."""
+    from repro.scheduler import JobJournal, WorkloadManager
+
+    traced = _telemetry_begin(args)
+    env = _env()
+    manager = WorkloadManager.for_environment(
+        env,
+        journal=JobJournal(args.journal),
+        max_workers=args.max_workers,
+        slots_per_job=args.slots_per_job,
+    )
+    depth = manager.queue_depth()
+    print(
+        f"serving {args.journal}: {depth} queued job(s), "
+        f"{manager.leases.total_slots} pool slots, "
+        f"{args.max_workers} concurrent campaigns"
+    )
+    t0 = time.time()
+    with manager:
+        manager.drain(timeout=args.timeout)
+    print(f"\n{'job id':<18s} {'user':<10s} {'cluster':<10s} {'state':<10s} "
+          f"{'wait s':>7s} {'run s':>7s} {'cache':>5s}")
+    for record in manager.jobs():
+        wait = f"{record.wait_seconds:.2f}" if record.wait_seconds is not None else "-"
+        run = f"{record.run_seconds:.2f}" if record.run_seconds is not None else "-"
+        print(
+            f"{record.job_id:<18s} {record.spec.user:<10s} "
+            f"{record.spec.cluster:<10s} {record.state.value:<10s} "
+            f"{wait:>7s} {run:>7s} {'yes' if record.cache_hit else '-':>5s}"
+        )
+    debts = manager.fair_share_debts()
+    if debts:
+        print("\nfair-share debt: " + ", ".join(
+            f"{user}={debt:.2f}" for user, debt in sorted(debts.items())
+        ))
+    failed = [r for r in manager.jobs() if r.state.value == "failed"]
+    print(f"wall time: {time.time() - t0:.1f}s")
+    _telemetry_end(args, traced)
+    if failed:
+        print(f"error: {len(failed)} job(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     env = _env([args.cluster])
     env.portal.run_analysis(args.cluster)
@@ -291,6 +417,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cluster")
     p.add_argument("--outdir", default="overlay-products")
     p.set_defaults(fn=cmd_overlay)
+
+    p = sub.add_parser("submit", help="queue an analysis job for the workload manager")
+    p.add_argument("user", help="tenant submitting the job")
+    p.add_argument("cluster", help="demonstration cluster to analyse")
+    p.add_argument("--priority", type=int, default=0, help="within-user priority")
+    p.add_argument(
+        "-o", "--option", action="append", default=[], metavar="KEY=VALUE",
+        help="morphology option (part of the derivation signature)",
+    )
+    p.add_argument(
+        "--journal", default="scheduler-journal.jsonl",
+        help="the manager's JSONL journal (doubles as the submission spool)",
+    )
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("queue", help="show the workload manager's queue state")
+    p.add_argument("--journal", default="scheduler-journal.jsonl")
+    p.set_defaults(fn=cmd_queue)
+
+    p = sub.add_parser("serve", help="drain queued jobs on the demonstration Grid")
+    p.add_argument("--journal", default="scheduler-journal.jsonl")
+    p.add_argument("--max-workers", type=int, default=4, help="concurrent campaigns")
+    p.add_argument("--slots-per-job", type=int, default=4, help="pool slots leased per job")
+    p.add_argument("--timeout", type=float, default=None, help="drain timeout in seconds")
+    _add_telemetry_options(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("explain", help="provenance of a logical file after an analysis")
     p.add_argument("cluster")

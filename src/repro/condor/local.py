@@ -127,6 +127,7 @@ class LocalExecutor:
         event_log: EventLog | None = None,
         gram: GramGateway | None = None,
         credential: GridCredential | None = None,
+        forced_failures: dict[str, int] | None = None,
     ) -> None:
         self.sites = dict(sites)
         self.registry = registry
@@ -137,6 +138,9 @@ class LocalExecutor:
         self.events = event_log if event_log is not None else EventLog()
         self.gram = gram
         self.credential = credential
+        #: Node ids whose first N attempts raise (fault injection; validated
+        #: against the workflow DAG at execute() start-up, like the simulator).
+        self.forced_failures = dict(forced_failures or {})
         self._rls_lock = threading.Lock()
 
     # -- storage helpers -----------------------------------------------------
@@ -264,17 +268,26 @@ class LocalExecutor:
         ):
             return self._run_node(payload)
 
+    @staticmethod
+    def _forced_failure(node_id: str, attempt: int) -> int:
+        raise ExecutionError(f"forced failure of node {node_id!r} (attempt {attempt})")
+
     # -- the driver loop -----------------------------------------------------------
     def execute(
-        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+        self,
+        workflow: ConcreteWorkflow,
+        completed: set[str] | None = None,
+        forced_failures: dict[str, int] | None = None,
     ) -> ExecutionReport:
         """Run the workflow to completion; never raises for job failures —
         DAGMan semantics report them instead.  ``completed`` resumes from a
-        rescue DAG, skipping the nodes an earlier run finished."""
+        rescue DAG, skipping the nodes an earlier run finished.
+        ``forced_failures`` is a runtime override merged over the
+        constructor map; both are validated against the workflow DAG."""
         with telemetry.trace_span(
             "condor.execute", mode="local", nodes=len(workflow)
         ) as span:
-            report = self._execute_impl(workflow, completed)
+            report = self._execute_impl(workflow, completed, forced_failures)
             span.set(
                 succeeded=report.succeeded,
                 makespan=report.makespan,
@@ -283,8 +296,14 @@ class LocalExecutor:
         return report
 
     def _execute_impl(
-        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+        self,
+        workflow: ConcreteWorkflow,
+        completed: set[str] | None = None,
+        forced_failures: dict[str, int] | None = None,
     ) -> ExecutionReport:
+        from repro.condor.simulator import merge_forced_failures
+
+        forced = merge_forced_failures(workflow, self.forced_failures, forced_failures)
         dagman = DagmanState(workflow.dag, max_retries=self.max_retries, completed=completed)
         report = ExecutionReport()
         t0 = time.perf_counter()
@@ -302,6 +321,11 @@ class LocalExecutor:
                     dagman.mark_running(node_id)
                     first_start.setdefault(node_id, now())
                     payload = workflow.dag.payload(node_id)
+                    attempt = dagman.attempts[node_id]
+                    if attempt <= forced.get(node_id, 0):
+                        future = pool.submit(self._forced_failure, node_id, attempt)
+                        in_flight[future] = node_id
+                        continue
                     if telemetry.enabled():
                         # a copied Context can be entered once, so copy per task
                         ctx = contextvars.copy_context()

@@ -30,3 +30,21 @@ def rescue_dag_text(
 def completed_nodes(report: ExecutionReport) -> set[str]:
     """Node ids a rescue submission would skip."""
     return {run.node_id for run in report.runs if run.success}
+
+
+def portable_completed_nodes(report: ExecutionReport) -> set[str]:
+    """Completed node ids that survive a *replan*.
+
+    Compute nodes are named after their derivations (``job-dv-...``), so
+    the same id denotes the same work in any plan of the same request.
+    Transfer and registration nodes are minted by a per-plan sequential
+    namer (``xfer-0001``, ``reg-0001``): the same name in a later plan is
+    a different node, so carrying them across submissions would wrongly
+    pre-mark fresh work DONE.  Cross-submission rescue state (the workload
+    manager's resume path) must use this filtered view.
+    """
+    return {
+        run.node_id
+        for run in report.runs
+        if run.success and run.kind == "compute"
+    }

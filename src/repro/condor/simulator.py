@@ -40,6 +40,33 @@ DEFAULT_RUNTIME_FALLBACK = 10.0
 REGISTRATION_TIME_S = 0.05
 
 
+def merge_forced_failures(
+    workflow: ConcreteWorkflow,
+    configured: dict[str, int],
+    override: dict[str, int] | None = None,
+) -> dict[str, int]:
+    """Merge configured + runtime forced-failure maps, validating node ids.
+
+    Both the :class:`SimulationOptions` map and any execute-time override
+    must name nodes that actually exist in the workflow DAG; silently
+    ignoring a typo'd id would make a fault-injection test vacuously pass.
+    Raises :class:`~repro.core.errors.ExecutionError` listing offenders.
+    """
+    from repro.core.errors import ExecutionError
+
+    merged = dict(configured)
+    if override:
+        merged.update(override)
+    if merged:
+        known = set(workflow.dag.node_ids())
+        unknown = sorted(set(merged) - known)
+        if unknown:
+            raise ExecutionError(
+                f"forced_failures reference unknown workflow nodes: {unknown}"
+            )
+    return merged
+
+
 @dataclass
 class SimulationOptions:
     """Simulator knobs."""
@@ -49,6 +76,8 @@ class SimulationOptions:
     runtimes: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RUNTIMES))
     runtime_jitter: float = 0.15  # log-normal sigma; 0 disables jitter
     #: Node ids forced to fail on their first N attempts (deterministic tests).
+    #: Ids are validated against the workflow DAG at execution start-up; an
+    #: unknown id raises :class:`~repro.core.errors.ExecutionError`.
     forced_failures: dict[str, int] = field(default_factory=dict)
     #: Fallback size for transfers whose plan-time size is 0.
     default_file_size: int = 20160
@@ -112,8 +141,18 @@ class GridSimulator:
             return REGISTRATION_TIME_S
         raise TypeError(f"unknown node payload {type(payload).__name__}")
 
-    def _attempt_fails(self, node_id: str, payload: object, attempt: int, rng: np.random.Generator) -> bool:
-        forced = self.options.forced_failures.get(node_id, 0)
+    def _attempt_fails(
+        self,
+        node_id: str,
+        payload: object,
+        attempt: int,
+        rng: np.random.Generator,
+        forced_failures: dict[str, int] | None = None,
+    ) -> bool:
+        forced_map = (
+            forced_failures if forced_failures is not None else self.options.forced_failures
+        )
+        forced = forced_map.get(node_id, 0)
         if attempt <= forced:
             return True
         if isinstance(payload, ComputeNode):
@@ -130,16 +169,21 @@ class GridSimulator:
 
     # -- the event loop ---------------------------------------------------------------
     def execute(
-        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+        self,
+        workflow: ConcreteWorkflow,
+        completed: set[str] | None = None,
+        forced_failures: dict[str, int] | None = None,
     ) -> ExecutionReport:
         """Simulate the workflow to completion (or stuck-failure) and report.
 
         ``completed`` resumes from a rescue DAG: those nodes are skipped.
+        ``forced_failures`` is a runtime override merged over (and validated
+        together with) :attr:`SimulationOptions.forced_failures`.
         """
         with telemetry.trace_span(
             "condor.execute", mode="simulate", nodes=len(workflow)
         ) as span:
-            report = self._execute_impl(workflow, completed)
+            report = self._execute_impl(workflow, completed, forced_failures)
             span.set(
                 succeeded=report.succeeded,
                 makespan=report.makespan,
@@ -148,8 +192,14 @@ class GridSimulator:
         return report
 
     def _execute_impl(
-        self, workflow: ConcreteWorkflow, completed: set[str] | None = None
+        self,
+        workflow: ConcreteWorkflow,
+        completed: set[str] | None = None,
+        forced_failures: dict[str, int] | None = None,
     ) -> ExecutionReport:
+        forced = merge_forced_failures(
+            workflow, self.options.forced_failures, forced_failures
+        )
         dagman = DagmanState(
             workflow.dag, max_retries=self.options.max_retries, completed=completed
         )
@@ -235,7 +285,7 @@ class GridSimulator:
                 publish_load(payload.site)
 
             attempt = dagman.attempts[node_id]
-            if self._attempt_fails(node_id, payload, attempt, rng):
+            if self._attempt_fails(node_id, payload, attempt, rng, forced):
                 will_retry = dagman.mark_failure(node_id)
                 self.events.emit(clock, "simulator", "node-failed", node=node_id, attempt=attempt, retry=will_retry)
                 if will_retry:

@@ -42,3 +42,19 @@ class ServiceError(ReproError):
 
 class TransportError(ReproError):
     """Data movement failure (fetch of a URL, stage-in/out of a file)."""
+
+
+class SchedulerError(ReproError):
+    """The multi-tenant workload manager rejected or mishandled a job."""
+
+
+class QueueFullError(SchedulerError):
+    """Global backpressure: the submission queue is at its depth bound."""
+
+
+class QuotaExceededError(SchedulerError):
+    """Per-user admission control: the tenant is at its active-job quota."""
+
+
+class UnknownJobError(SchedulerError):
+    """A job id that the workload manager has never seen."""

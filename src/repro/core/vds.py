@@ -124,8 +124,23 @@ class VirtualDataSystem:
         self.events.emit(0.0, "chimera", "abstract-workflow-composed", jobs=len(abstract))
         return self._planner.plan(abstract, requested)
 
-    def execute(self, plan: PlanResult, mode: str = "local") -> ExecutionReport:
-        """Run a plan for real (``"local"``) or in virtual time (``"simulate"``)."""
+    def execute(
+        self,
+        plan: PlanResult,
+        mode: str = "local",
+        completed: set[str] | None = None,
+        forced_failures: dict[str, int] | None = None,
+    ) -> ExecutionReport:
+        """Run a plan for real (``"local"``) or in virtual time (``"simulate"``).
+
+        ``completed`` pre-marks nodes DONE (rescue-DAG resume: a
+        resubmission skips everything a failed run finished).
+        ``forced_failures`` is a fault-injection override; in local mode the
+        configured :attr:`simulation_options.forced_failures` map applies
+        too, so one chaos knob drives both engines.  Both maps are
+        validated against the plan's DAG — unknown node ids raise
+        :class:`~repro.core.errors.ExecutionError`.
+        """
         if mode == "local":
             executor = LocalExecutor(
                 sites=self.sites,
@@ -134,8 +149,11 @@ class VirtualDataSystem:
                 max_workers=self.max_workers,
                 provenance=self.provenance,
                 event_log=self.events,
+                forced_failures=self.simulation_options.forced_failures,
             )
-            return executor.execute(plan.concrete)
+            return executor.execute(
+                plan.concrete, completed=completed, forced_failures=forced_failures
+            )
         if mode == "simulate":
             simulator = GridSimulator(
                 topology=self.topology,
@@ -143,7 +161,9 @@ class VirtualDataSystem:
                 size_lookup=self._size_estimator,
                 event_log=self.events,
             )
-            return simulator.execute(plan.concrete)
+            return simulator.execute(
+                plan.concrete, completed=completed, forced_failures=forced_failures
+            )
         raise ValueError(f"unknown execution mode {mode!r}; use 'local' or 'simulate'")
 
     def materialize(self, requested_lfns: Iterable[str], mode: str = "local") -> tuple[PlanResult, ExecutionReport]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.errors import ReproError
 from repro.portal.analysis import DresslerAnalysis, analyze_morphology_catalog
 from repro.portal.demo import DemoEnvironment
 from repro.utils.units import format_bytes
@@ -33,6 +34,17 @@ class ClusterRunRecord:
     valid_measurements: int
     jobs_per_site: dict[str, int]
     analysis: DresslerAnalysis | None
+    #: DAGMan nodes that exhausted their retries for this cluster.
+    failed_nodes: int = 0
+    #: Nodes never launched because an ancestor failed.
+    unrunnable_nodes: int = 0
+    #: The error that ended the cluster's run, when it did not complete.
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Did this cluster's analysis end without a usable catalog?"""
+        return self.error is not None or self.failed_nodes > 0 or self.unrunnable_nodes > 0
 
 
 @dataclass
@@ -69,6 +81,36 @@ class CampaignReport:
     def galaxy_range(self) -> tuple[int, int]:
         counts = [r.galaxies for r in self.records]
         return (min(counts), max(counts))
+
+    @property
+    def failed_clusters(self) -> list[str]:
+        return [r.cluster for r in self.records if r.failed]
+
+    @property
+    def failed_nodes(self) -> int:
+        return sum(r.failed_nodes for r in self.records)
+
+    @property
+    def unrunnable_nodes(self) -> int:
+        return sum(r.unrunnable_nodes for r in self.records)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when every cluster completed with no FAILED/UNRUNNABLE nodes."""
+        return not self.failed_clusters
+
+    def failure_summary(self) -> str:
+        """One line per failed cluster: node counts + the ending error."""
+        lines = []
+        for record in self.records:
+            if not record.failed:
+                continue
+            lines.append(
+                f"{record.cluster}: {record.failed_nodes} failed node(s), "
+                f"{record.unrunnable_nodes} unrunnable"
+                + (f" — {record.error}" if record.error else "")
+            )
+        return "\n".join(lines)
 
     def pools_used(self) -> list[str]:
         pools: set[str] = set()
@@ -109,7 +151,14 @@ def run_campaign(
     names = cluster_names if cluster_names is not None else [c.name for c in env.clusters]
     report = CampaignReport()
     for name in names:
-        session = env.portal.run_analysis(name)
+        try:
+            session = env.portal.run_analysis(name)
+        except ReproError as exc:
+            # A failed cluster must not abort the rest of the campaign; it is
+            # recorded with its FAILED/UNRUNNABLE node counts so the caller
+            # can exit nonzero and report the damage.
+            report.records.append(_failed_record(env, name, exc))
+            continue
         # The compute request this session created is the service's latest.
         request = list(env.compute_service.requests.values())[-1]
         exec_report = request.report
@@ -145,6 +194,38 @@ def run_campaign(
                 valid_measurements=n_valid,
                 jobs_per_site=exec_report.jobs_per_site(),
                 analysis=analysis,
+                failed_nodes=len(exec_report.failed_nodes),
+                unrunnable_nodes=len(exec_report.unrunnable_nodes),
             )
         )
     return report
+
+
+def _failed_record(
+    env: DemoEnvironment, name: str, exc: ReproError
+) -> ClusterRunRecord:
+    """Accounting for a cluster whose run ended in an error."""
+    exec_report = None
+    for request in reversed(list(env.compute_service.requests.values())):
+        if request.cluster == name:
+            exec_report = request.report
+            break
+    return ClusterRunRecord(
+        cluster=name,
+        galaxies=0,
+        compute_jobs=(
+            sum(1 for r in exec_report.compute_runs if r.success) if exec_report else 0
+        ),
+        transfers=sum(exec_report.transfer_counts.values()) if exec_report else 0,
+        stage_in=0,
+        inter_site=0,
+        stage_out=0,
+        images=0,
+        image_bytes=0,
+        valid_measurements=0,
+        jobs_per_site=exec_report.jobs_per_site() if exec_report else {},
+        analysis=None,
+        failed_nodes=len(exec_report.failed_nodes) if exec_report else 0,
+        unrunnable_nodes=len(exec_report.unrunnable_nodes) if exec_report else 0,
+        error=str(exc),
+    )

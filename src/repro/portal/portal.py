@@ -191,8 +191,14 @@ class GalaxyMorphologyPortal:
         self.events.emit(0.0, "portal", "cutouts-resolved", count=len(urls))
         return session.input_votable
 
-    def submit_and_wait(self, session: PortalSession) -> VOTable:
-        """Ship the VOTable to the compute service, poll, fetch results."""
+    def submit_and_wait(
+        self, session: PortalSession, resume_from: set[str] | None = None
+    ) -> VOTable:
+        """Ship the VOTable to the compute service, poll, fetch results.
+
+        ``resume_from`` forwards rescue-DAG state (node ids a failed earlier
+        request completed) to the compute service, which pre-marks them DONE.
+        """
         if session.input_votable is None:
             raise ServiceError("resolve_cutouts must run before submit_and_wait")
         out_name = f"{session.cluster.name}-morphology.vot"
@@ -200,7 +206,8 @@ class GalaxyMorphologyPortal:
             "portal.submit_and_wait", cluster=session.cluster.name, out=out_name
         ) as span:
             session.status_url = self.compute_service.gal_morph_compute(
-                session.input_votable, out_name, session.cluster.name
+                session.input_votable, out_name, session.cluster.name,
+                resume_from=resume_from,
             )
             self.events.emit(0.0, "portal", "compute-submitted", out=out_name)
             message = self.compute_service.poll(session.status_url)
@@ -228,7 +235,9 @@ class GalaxyMorphologyPortal:
         self.events.emit(0.0, "portal", "results-merged", rows=len(session.merged))
         return session.merged
 
-    def run_analysis(self, cluster_name: str) -> PortalSession:
+    def run_analysis(
+        self, cluster_name: str, resume_from: set[str] | None = None
+    ) -> PortalSession:
         """The complete Figure 5 flow for one cluster.
 
         With telemetry enabled the whole walk is one ``portal.run_analysis``
@@ -240,7 +249,7 @@ class GalaxyMorphologyPortal:
             session = self.select_cluster(cluster_name)
             self.build_catalog(session)
             self.resolve_cutouts(session)
-            self.submit_and_wait(session)
+            self.submit_and_wait(session, resume_from=resume_from)
             self.merge_results(session)
             span.set(
                 galaxies=len(session.merged) if session.merged is not None else 0,

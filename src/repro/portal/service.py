@@ -19,6 +19,7 @@ Implements the seven numbered steps of Figure 6:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -112,6 +113,8 @@ class ServiceRequestStatus:
     bytes_downloaded: int = 0
     plan: PlanResult | None = None
     report: ExecutionReport | None = None
+    #: Nodes pre-marked DONE by a rescue-DAG resume (resubmission path).
+    resumed_nodes: int = 0
 
 
 class GalaxyMorphologyService:
@@ -141,14 +144,27 @@ class GalaxyMorphologyService:
         self.requests: dict[str, ServiceRequestStatus] = {}
         self._tr_defined = False
         self.result_base_url = "http://isi.grid/galmorph/result"
+        #: Serialises catalog mutation + planning so concurrent requests
+        #: (the workload manager dispatches several campaigns at once) never
+        #: interleave VDC definitions or planner passes; execution itself —
+        #: the long pole — still runs fully in parallel.
+        self._plan_lock = threading.Lock()
 
     # -- public API (what the portal's two lines of C# called) ----------------
-    def gal_morph_compute(self, vot: VOTable, out_name: str, cluster_name: str) -> str:
+    def gal_morph_compute(
+        self,
+        vot: VOTable,
+        out_name: str,
+        cluster_name: str,
+        resume_from: set[str] | None = None,
+    ) -> str:
         """Accept a request; return the status URL (Figure 6 step 1).
 
         Processing happens before return (single-process reproduction), but
         all results flow through the status page exactly as the polling
-        protocol requires.
+        protocol requires.  ``resume_from`` carries rescue-DAG state from a
+        failed earlier request: any of those nodes still present in the new
+        plan are pre-marked DONE so only the remainder executes.
         """
         missing = [f for f in REQUIRED_INPUT_FIELDS if f not in vot.field_names()]
         if missing:
@@ -164,7 +180,7 @@ class GalaxyMorphologyService:
             "service.request", cluster=cluster_name, out=out_name, galaxies=len(vot)
         ) as span:
             try:
-                self._process(state, vot)
+                self._process(state, vot, resume_from=resume_from)
             except Exception as exc:  # service must never propagate to the portal
                 self.status.post(request_id, "failed", str(exc))
                 self.events.emit(0.0, "service", "request-failed", error=str(exc))
@@ -186,7 +202,12 @@ class GalaxyMorphologyService:
     def _result_url(self, out_name: str) -> str:
         return f"{self.result_base_url}/{out_name}"
 
-    def _process(self, state: ServiceRequestStatus, vot: VOTable) -> None:
+    def _process(
+        self,
+        state: ServiceRequestStatus,
+        vot: VOTable,
+        resume_from: set[str] | None = None,
+    ) -> None:
         request_id = state.request_id
 
         # (2) the virtual-data short circuit
@@ -205,15 +226,33 @@ class GalaxyMorphologyService:
         self.status.post(request_id, "running", "collecting galaxy images")
         self._collect_images(state, vot)
 
-        # (4) VDL generation
-        self._define_vdl(state, vot)
-        self.events.emit(0.0, "service", "vdl-generated", cluster=state.cluster)
-
-        # (5)+(6) Chimera composition, Pegasus planning, DAGMan execution
+        # (4)+(5) VDL generation, Chimera composition, Pegasus planning.
+        # One request at a time may mutate the VDC / run the planner;
+        # execution below happens outside the lock.
         self.status.post(request_id, "running", "planning and executing on the Grid")
-        plan = self.vds.plan([state.out_name])
+        with self._plan_lock:
+            self._define_vdl(state, vot)
+            self.events.emit(0.0, "service", "vdl-generated", cluster=state.cluster)
+            plan = self.vds.plan([state.out_name])
         state.plan = plan
-        report = self.vds.execute(plan, mode=self.execution_mode)
+
+        # Rescue-DAG resume: pre-mark nodes the failed run already finished.
+        # Pegasus reduction may have pruned some of them (their outputs got
+        # registered before the failure), so intersect with the live DAG.
+        completed = None
+        if resume_from:
+            completed = set(resume_from) & set(plan.concrete.dag.node_ids())
+            state.resumed_nodes = len(completed)
+            if completed:
+                self.events.emit(
+                    0.0, "service", "rescue-resume",
+                    out=state.out_name, resumed=len(completed),
+                )
+
+        # (6) DAGMan execution
+        report = self.vds.execute(
+            plan, mode=self.execution_mode, completed=completed or None
+        )
         state.report = report
         if self.execution_mode == "simulate" and report.succeeded:
             self._finalize_simulated(plan)

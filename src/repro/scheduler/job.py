@@ -1,0 +1,165 @@
+"""Job model: what a tenant submits and what the manager tracks.
+
+A *job* is one request to analyse one cluster for one user.  Jobs carry a
+**derivation signature** — the content-address of the virtual data product
+they would materialise (cluster + morphology options + code version) — so
+the workload manager can recognise a resubmitted or overlapping analysis
+and answer it from the RLS-backed result cache exactly like Pegasus prunes
+already-materialised files out of an abstract workflow.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro import __version__ as CODE_VERSION
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle of a submission."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States from which a job never leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the tenant asked for.
+
+    ``options`` are the analysis knobs that change the derived product
+    (morphology parameters, batching, ...); anything affecting output bytes
+    belongs here because it feeds the derivation signature.
+    """
+
+    user: str
+    cluster: str
+    options: tuple[tuple[str, Any], ...] = ()
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.user:
+            raise ValueError("job spec requires a user")
+        if not self.cluster:
+            raise ValueError("job spec requires a cluster")
+
+    @classmethod
+    def create(
+        cls,
+        user: str,
+        cluster: str,
+        options: Mapping[str, Any] | None = None,
+        priority: int = 0,
+    ) -> "JobSpec":
+        """Normalise ``options`` into a canonical sorted tuple."""
+        items = tuple(sorted((options or {}).items()))
+        return cls(user=user, cluster=cluster, options=items, priority=priority)
+
+    def options_dict(self) -> dict[str, Any]:
+        return dict(self.options)
+
+
+def derivation_signature(spec: JobSpec, code_version: str = CODE_VERSION) -> str:
+    """The cache key of the product ``spec`` derives.
+
+    Two submissions collide exactly when they would materialise the same
+    bytes: same cluster, same analysis options, same code version.  The
+    user and priority deliberately do **not** participate — cross-tenant
+    reuse is the whole point ("some other user may have already
+    materialized part of the entire required dataset", §3.2).
+    """
+    payload = json.dumps(
+        {
+            "cluster": spec.cluster,
+            "options": [[k, repr(v)] for k, v in spec.options],
+            "version": code_version,
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+    return f"sig-{digest}"
+
+
+@dataclass
+class JobRecord:
+    """The manager's book-keeping for one submission."""
+
+    job_id: str
+    spec: JobSpec
+    signature: str
+    seq: int
+    submitted_at: float
+    state: JobState = JobState.QUEUED
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    cache_hit: bool = False
+    resumed_nodes: int = 0
+    result_lfn: str = ""
+    error: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # -- timing -----------------------------------------------------------------
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queue wait: submission to first dispatch (never negative —
+        journal-replayed timestamps may come from another process's
+        monotonic clock)."""
+        if self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # -- (de)serialisation (journal lines) ---------------------------------------
+    def as_record(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "user": self.spec.user,
+            "cluster": self.spec.cluster,
+            "options": [[k, v] for k, v in self.spec.options],
+            "priority": self.spec.priority,
+            "signature": self.signature,
+            "seq": self.seq,
+            "submitted_at": self.submitted_at,
+            "state": self.state.value,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, data: Mapping[str, Any]) -> "JobRecord":
+        spec = JobSpec(
+            user=data["user"],
+            cluster=data["cluster"],
+            options=tuple((k, v) for k, v in data.get("options", ())),
+            priority=int(data.get("priority", 0)),
+        )
+        return cls(
+            job_id=data["job_id"],
+            spec=spec,
+            signature=data["signature"],
+            seq=int(data["seq"]),
+            submitted_at=float(data["submitted_at"]),
+            state=JobState(data.get("state", "queued")),
+            attempts=int(data.get("attempts", 0)),
+        )

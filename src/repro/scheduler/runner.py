@@ -1,0 +1,123 @@
+"""Job execution adapters.
+
+The workload manager is execution-agnostic: anything with a
+``run(spec, resume_from) -> JobOutcome`` method can drive jobs.  The
+production adapter is :class:`PortalJobRunner`, which walks a job through
+the full Figure-5 portal flow on a shared demonstration environment and
+ships back the merged VOTable bytes.  A failed Grid run raises
+:class:`JobFailure` carrying the rescue-DAG node set so the manager can
+journal it and a resubmission can resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.condor.rescue import portable_completed_nodes
+from repro.core.errors import ReproError, SchedulerError
+from repro.scheduler.job import JobSpec
+from repro.votable.writer import write_votable
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What a successful job produced."""
+
+    result_bytes: bytes
+    galaxies: int = 0
+    valid_measurements: int = 0
+    compute_jobs: int = 0
+    resumed_nodes: int = 0
+
+
+class JobFailure(SchedulerError):
+    """A job's Grid run failed; carries resume state for the resubmission."""
+
+    def __init__(
+        self,
+        message: str,
+        rescue_nodes: frozenset[str] = frozenset(),
+        resumed_nodes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.rescue_nodes = frozenset(rescue_nodes)
+        self.resumed_nodes = resumed_nodes
+
+
+class JobRunner(Protocol):
+    """The execution contract the manager dispatches through."""
+
+    def run(self, spec: JobSpec, resume_from: set[str] | None) -> JobOutcome:
+        """Execute one job; raise :class:`JobFailure` on a failed Grid run."""
+        ...
+
+
+@dataclass
+class PortalJobRunner:
+    """The portal's Figure-5 walk as a job body over a shared environment.
+
+    The environment must execute in ``"local"`` mode (real bytes; the
+    simulate engine declares sizes only, so there would be no VOTable to
+    fetch).  Concurrent jobs are safe: storage sites, the RLS, the status
+    board and the event log are all internally locked, and the compute
+    service serialises catalog mutation + planning behind its plan lock
+    while Grid execution — the long pole — overlaps freely.
+    """
+
+    env: "object"  # repro.portal.demo.DemoEnvironment (kept loose for tests)
+    namespaced_votable: bool = field(default=True)
+
+    def run(self, spec: JobSpec, resume_from: set[str] | None) -> JobOutcome:
+        portal = self.env.portal
+        session = portal.select_cluster(spec.cluster)
+        portal.build_catalog(session)
+        portal.resolve_cutouts(session)
+        try:
+            portal.submit_and_wait(session, resume_from=resume_from)
+        except ReproError as exc:
+            rescue, resumed = self._rescue_state(session, resume_from)
+            raise JobFailure(
+                f"cluster {spec.cluster!r}: {exc}",
+                rescue_nodes=rescue,
+                resumed_nodes=resumed,
+            ) from exc
+        portal.merge_results(session)
+        assert session.merged is not None
+        request = self._request_for(session)
+        report = request.report if request is not None else None
+        return JobOutcome(
+            result_bytes=write_votable(
+                session.merged, namespaced=self.namespaced_votable
+            ).encode("utf-8"),
+            galaxies=len(session.merged),
+            valid_measurements=sum(1 for row in session.merged if row["valid"]),
+            compute_jobs=(
+                sum(1 for r in report.compute_runs if r.success) if report is not None else 0
+            ),
+            resumed_nodes=request.resumed_nodes if request is not None else 0,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+    def _request_for(self, session: "object"):
+        """The service-side request state for this session (by status URL)."""
+        if session.status_url is None:
+            return None
+        request_id = session.status_url.rsplit("/", 1)[-1]
+        return self.env.compute_service.requests.get(request_id)
+
+    def _rescue_state(
+        self, session: "object", resume_from: set[str] | None
+    ) -> tuple[frozenset[str], int]:
+        """Nodes a resubmission may skip: everything this run finished plus
+        everything it was itself resumed from."""
+        request = self._request_for(session)
+        nodes: set[str] = set(resume_from or ())
+        resumed = 0
+        if request is not None:
+            resumed = request.resumed_nodes
+            if request.report is not None:
+                # Only derivation-named (compute) nodes are portable across
+                # the resubmission's replan; see portable_completed_nodes.
+                nodes |= portable_completed_nodes(request.report)
+        return frozenset(nodes), resumed

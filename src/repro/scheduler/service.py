@@ -1,0 +1,482 @@
+"""The workload manager: queued submissions, fair-share dispatch, reuse.
+
+:class:`WorkloadManager` is the long-lived multi-tenant front door the NVO
+service shape requires: ``submit(user, cluster, options)`` journals the job
+and returns immediately; a dispatcher thread drains the queue with the
+fair-share policy, leasing pool slots per job and running several campaigns
+concurrently on a worker pool; the RLS-backed result cache turns
+resubmitted or overlapping analyses into zero-compute answers; failed jobs
+leave rescue-DAG state behind so a resubmission executes only the
+remainder; and the whole queue replays from its JSONL journal after a
+crash.
+
+Telemetry (PR-2 registry) published per dispatch cycle / job:
+
+* ``scheduler_queue_depth`` (gauge) — jobs waiting;
+* ``scheduler_running_jobs`` (gauge) — jobs holding leases;
+* ``scheduler_wait_seconds`` (histogram) — submit-to-dispatch latency;
+* ``scheduler_cache_hits_total`` / ``scheduler_cache_misses_total``;
+* ``scheduler_jobs_total{state=...}`` — terminal-state counts;
+* ``scheduler_fair_share_debt{user=...}`` (gauge) — normalized usage above
+  the least-served active tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Mapping
+
+from repro import telemetry
+from repro.core.errors import SchedulerError, UnknownJobError
+from repro.scheduler.cache import RlsResultCache
+from repro.scheduler.job import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    derivation_signature,
+)
+from repro.scheduler.journal import JobJournal
+from repro.scheduler.leases import SlotLeaseManager
+from repro.scheduler.policy import AdmissionPolicy, FairShareScheduler
+from repro.scheduler.runner import JobFailure, JobOutcome, JobRunner, PortalJobRunner
+
+
+class WorkloadManager:
+    """Multi-tenant queue + fair-share dispatcher over a shared Grid."""
+
+    def __init__(
+        self,
+        runner: JobRunner | None,
+        *,
+        total_slots: int = 48,
+        slots_per_job: int = 4,
+        per_user_slots: int | None = None,
+        max_workers: int = 4,
+        admission: AdmissionPolicy | None = None,
+        scheduler: FairShareScheduler | None = None,
+        cache: RlsResultCache | None = None,
+        journal: JobJournal | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if slots_per_job < 1:
+            raise ValueError(f"slots_per_job must be positive, got {slots_per_job}")
+        self.runner = runner
+        self.slots_per_job = slots_per_job
+        self.admission = admission if admission is not None else AdmissionPolicy()
+        self.scheduler = scheduler if scheduler is not None else FairShareScheduler()
+        self.cache = cache
+        self.journal = journal if journal is not None else JobJournal(None)
+        self.leases = SlotLeaseManager(
+            total_slots,
+            per_user_cap=(
+                per_user_slots
+                if per_user_slots is not None
+                # Default anti-starvation cap: no tenant may hold more than
+                # half the Grid (but always enough for one job).
+                else max(slots_per_job, total_slots // 2)
+            ),
+        )
+        self._clock = clock
+        self._max_workers = max_workers
+        self._cond = threading.Condition()
+        self._jobs: dict[str, JobRecord] = {}
+        self._queue: list[str] = []  # job ids, submission order
+        self._inflight: dict[str, str] = {}  # signature -> job id
+        self._rescue: dict[str, set[str]] = {}
+        self._results: dict[str, bytes] = {}
+        self._seq = 0
+        self._running = 0
+        self._stop = False
+        self._started = False
+        self._dispatcher: threading.Thread | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._recover()
+
+    # -- construction helpers ------------------------------------------------------
+    @classmethod
+    def for_environment(
+        cls,
+        env: "object",
+        cache_site: str = "nvo-storage",
+        **kwargs: Any,
+    ) -> "WorkloadManager":
+        """Wire a manager onto a :class:`~repro.portal.demo.DemoEnvironment`.
+
+        Pool slots come from the Grid topology; the result cache lives at
+        the compute service's cache site, registered in the live RLS.
+        """
+        vds = env.vds
+        total = sum(vds.topology.capacities().values()) or 1
+        kwargs.setdefault("total_slots", total)
+        cache = kwargs.pop("cache", None)
+        if cache is None and cache_site in vds.sites:
+            cache = RlsResultCache(vds.rls, vds.sites[cache_site], cache_site)
+        return cls(PortalJobRunner(env), cache=cache, **kwargs)
+
+    def _recover(self) -> None:
+        """Replay the journal: restore queue, rescue state and usage."""
+        state = self.journal.replay()
+        if not state.jobs:
+            return
+        self._seq = state.max_seq + 1
+        self.scheduler.restore_usage(state.usage)
+        self._rescue = {sig: set(nodes) for sig, nodes in state.rescue.items()}
+        now = self._clock()
+        for record in state.jobs.values():
+            self._jobs[record.job_id] = record
+            if record.state is JobState.QUEUED:
+                # Journal timestamps come from the submitting process's
+                # monotonic clock; re-stamp so this process's wait metric
+                # measures time since recovery, not cross-boot garbage.
+                record.submitted_at = now
+                self._queue.append(record.job_id)
+        self._publish_gauges_locked()
+
+    # -- lifecycle ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the dispatcher (idempotent)."""
+        with self._cond:
+            if self._started:
+                return
+            if self.runner is None:
+                raise SchedulerError("cannot start a manager constructed without a runner")
+            self._started = True
+            self._stop = False
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="scheduler-job"
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="scheduler-dispatch", daemon=True
+            )
+            self._dispatcher.start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop dispatching; running jobs finish, queued jobs stay queued."""
+        with self._cond:
+            if not self._started:
+                return
+            self._stop = True
+            self._cond.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        with self._cond:
+            self._started = False
+            self._dispatcher = None
+            self._pool = None
+
+    def __enter__(self) -> "WorkloadManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- the tenant API ---------------------------------------------------------------
+    def submit(
+        self,
+        user: str,
+        cluster: str,
+        options: Mapping[str, Any] | None = None,
+        priority: int = 0,
+    ) -> JobRecord:
+        """Queue one analysis job; returns its record immediately.
+
+        Raises :class:`~repro.core.errors.QueueFullError` (global
+        backpressure) or :class:`~repro.core.errors.QuotaExceededError`
+        (per-user admission) without journaling anything.
+        """
+        spec = JobSpec.create(user, cluster, options, priority)
+        signature = derivation_signature(spec)
+        with self._cond:
+            active = sum(
+                1
+                for r in self._jobs.values()
+                if r.spec.user == user and not r.terminal
+            )
+            self.admission.admit(user, len(self._queue), active)
+            # The id is minted from the journal-global sequence number (not a
+            # per-process counter) so spool-then-serve across processes never
+            # collides; the suffix ties it visibly to its derivation.
+            record = JobRecord(
+                job_id=f"job-{self._seq:06d}-{signature[4:10]}",
+                spec=spec,
+                signature=signature,
+                seq=self._seq,
+                submitted_at=self._clock(),
+            )
+            self._seq += 1
+            self._jobs[record.job_id] = record
+            self._queue.append(record.job_id)
+            self.journal.append("submit", job=record.as_record())
+            self._publish_gauges_locked()
+            self._cond.notify_all()
+        telemetry.count("scheduler_submissions_total", user=user)
+        return record
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; ``False`` if it already left the queue."""
+        with self._cond:
+            record = self._require(job_id)
+            if record.state is not JobState.QUEUED:
+                return False
+            record.state = JobState.CANCELLED
+            record.finished_at = self._clock()
+            self._queue.remove(job_id)
+            self.journal.append("cancel", job_id=job_id)
+            telemetry.count("scheduler_jobs_total", state="cancelled")
+            self._publish_gauges_locked()
+            self._cond.notify_all()
+            return True
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        with self._cond:
+            record = self._require(job_id)
+            finished = self._cond.wait_for(lambda: record.terminal, timeout=timeout)
+            if not finished:
+                raise SchedulerError(f"timed out after {timeout}s waiting for {job_id}")
+            return record
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until the queue is empty and nothing is running."""
+        with self._cond:
+            done = self._cond.wait_for(
+                lambda: not self._queue and self._running == 0, timeout=timeout
+            )
+            if not done:
+                raise SchedulerError(f"timed out after {timeout}s draining the queue")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The merged VOTable a completed job produced."""
+        with self._cond:
+            record = self._require(job_id)
+            if record.state is not JobState.COMPLETED:
+                raise SchedulerError(
+                    f"job {job_id} is {record.state.value}, not completed"
+                )
+            content = self._results.get(job_id)
+        if content is not None:
+            return content
+        if self.cache is not None:
+            cached = self.cache.lookup(record.signature)
+            if cached is not None:
+                return cached
+        raise SchedulerError(f"result bytes for {job_id} are no longer materialised")
+
+    # -- introspection -----------------------------------------------------------------
+    def job(self, job_id: str) -> JobRecord:
+        with self._cond:
+            return self._require(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda r: r.seq)
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def running_jobs(self) -> int:
+        with self._cond:
+            return self._running
+
+    def rescue_state(self, signature: str) -> set[str]:
+        with self._cond:
+            return set(self._rescue.get(signature, ()))
+
+    def fair_share_debts(self) -> dict[str, float]:
+        with self._cond:
+            users = {r.spec.user for r in self._jobs.values()}
+            return self.scheduler.debts(users)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready queue state (the ``repro queue`` verb renders this)."""
+        with self._cond:
+            jobs = sorted(self._jobs.values(), key=lambda r: r.seq)
+            return {
+                "queued": len(self._queue),
+                "running": self._running,
+                "slots_in_use": self.leases.in_use(),
+                "slots_total": self.leases.total_slots,
+                "jobs": [
+                    {
+                        **r.as_record(),
+                        "cache_hit": r.cache_hit,
+                        "wait_seconds": r.wait_seconds,
+                        "run_seconds": r.run_seconds,
+                        "error": r.error,
+                    }
+                    for r in jobs
+                ],
+            }
+
+    def _require(self, job_id: str) -> JobRecord:
+        if job_id not in self._jobs:
+            raise UnknownJobError(f"no such job {job_id!r}")
+        return self._jobs[job_id]
+
+    # -- dispatch ---------------------------------------------------------------------
+    def _eligible(self, record: JobRecord) -> bool:
+        """May this queued job be dispatched right now?
+
+        Identical in-flight derivations are held back (they will be answered
+        by the cache the moment the first one lands), and the tenant must be
+        able to lease slots under their cap.
+        """
+        if record.signature in self._inflight:
+            return False
+        return self.leases.can_acquire(record.spec.user, self.slots_per_job)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                record = None
+                while not self._stop:
+                    if self._queue and self._running < self._max_workers:
+                        queued = [self._jobs[j] for j in self._queue]
+                        record = self.scheduler.pick(queued, self._eligible)
+                        if record is not None:
+                            break
+                    # Nothing dispatchable: wait for a submit/finish/stop.
+                    self._cond.wait(timeout=0.1)
+                if self._stop:
+                    return
+                assert record is not None
+                lease = self.leases.try_acquire(record.spec.user, self.slots_per_job)
+                if lease is None:  # pragma: no cover - guarded by _eligible
+                    continue
+                self._queue.remove(record.job_id)
+                self._inflight[record.signature] = record.job_id
+                self._running += 1
+                record.state = JobState.RUNNING
+                record.started_at = self._clock()
+                record.attempts += 1
+                self.journal.append("start", job_id=record.job_id)
+                self._publish_gauges_locked()
+                pool = self._pool
+            wait = record.wait_seconds
+            if wait is not None:
+                telemetry.observe("scheduler_wait_seconds", wait, user=record.spec.user)
+            assert pool is not None
+            pool.submit(self._run_job, record, lease)
+
+    # -- the job body (worker threads) ---------------------------------------------
+    def _run_job(self, record: JobRecord, lease: Any) -> None:
+        signature = record.signature
+        outcome: JobOutcome | None = None
+        failure: BaseException | None = None
+        cache_hit = False
+        with telemetry.trace_span(
+            "scheduler.job",
+            user=record.spec.user,
+            cluster=record.spec.cluster,
+            signature=signature,
+        ) as span:
+            try:
+                cached = self.cache.lookup(signature) if self.cache is not None else None
+                if cached is not None:
+                    cache_hit = True
+                    telemetry.count("scheduler_cache_hits_total")
+                    outcome = JobOutcome(result_bytes=cached)
+                else:
+                    if self.cache is not None:
+                        telemetry.count("scheduler_cache_misses_total")
+                    resume = self.rescue_state(signature) or None
+                    assert self.runner is not None
+                    outcome = self.runner.run(record.spec, resume)
+            except BaseException as exc:  # noqa: BLE001 - the queue must survive
+                failure = exc
+            span.set(cache_hit=cache_hit, status="error" if failure else "ok")
+        self._finish_job(record, lease, outcome, failure, cache_hit)
+
+    def _finish_job(
+        self,
+        record: JobRecord,
+        lease: Any,
+        outcome: JobOutcome | None,
+        failure: BaseException | None,
+        cache_hit: bool,
+    ) -> None:
+        now = self._clock()
+        with self._cond:
+            try:
+                record.finished_at = now
+                if outcome is not None:
+                    record.state = JobState.COMPLETED
+                    record.cache_hit = cache_hit
+                    record.resumed_nodes = outcome.resumed_nodes
+                    self._results[record.job_id] = outcome.result_bytes
+                    if self.cache is not None:
+                        try:
+                            if cache_hit:
+                                record.result_lfn = self.cache.lfn_for(record.signature)
+                            else:
+                                record.result_lfn = self.cache.store(
+                                    record.signature, outcome.result_bytes
+                                )
+                        except Exception as exc:  # noqa: BLE001 - result is safe in memory
+                            record.extra["cache_store_error"] = str(exc)
+                    # A completed derivation invalidates any stale rescue state.
+                    if record.signature in self._rescue:
+                        del self._rescue[record.signature]
+                        self.journal.append(
+                            "rescue", signature=record.signature, nodes=[]
+                        )
+                    cost = (
+                        0.0 if cache_hit else (record.run_seconds or 0.0) * lease.slots
+                    )
+                    self.scheduler.charge(record.spec.user, cost)
+                    self.journal.append(
+                        "complete",
+                        job_id=record.job_id,
+                        cache_hit=cache_hit,
+                        result_lfn=record.result_lfn,
+                        cost=cost,
+                    )
+                    telemetry.count("scheduler_jobs_total", state="completed")
+                else:
+                    assert failure is not None
+                    record.state = JobState.FAILED
+                    record.error = str(failure)
+                    if isinstance(failure, JobFailure):
+                        record.resumed_nodes = failure.resumed_nodes
+                        if failure.rescue_nodes:
+                            merged = self._rescue.get(record.signature, set()) | set(
+                                failure.rescue_nodes
+                            )
+                            self._rescue[record.signature] = merged
+                            self.journal.append(
+                                "rescue",
+                                signature=record.signature,
+                                nodes=sorted(merged),
+                            )
+                    cost = (record.run_seconds or 0.0) * lease.slots
+                    self.scheduler.charge(record.spec.user, cost)
+                    self.journal.append(
+                        "fail", job_id=record.job_id, error=record.error
+                    )
+                    telemetry.count("scheduler_jobs_total", state="failed")
+            finally:
+                # Queue accounting must survive any journaling/caching error,
+                # or the dispatcher would believe the slots are still leased.
+                self._inflight.pop(record.signature, None)
+                self._running -= 1
+                self.leases.release(lease)
+                self._publish_gauges_locked()
+                self._cond.notify_all()
+
+    # -- metrics ------------------------------------------------------------------------
+    def _publish_gauges_locked(self) -> None:
+        """Update gauges; caller holds (or is constructing under) the lock."""
+        if not telemetry.enabled():
+            return
+        telemetry.gauge_set("scheduler_queue_depth", float(len(self._queue)))
+        telemetry.gauge_set("scheduler_running_jobs", float(self._running))
+        telemetry.gauge_set("scheduler_slots_in_use", float(self.leases.in_use()))
+        users = {r.spec.user for r in self._jobs.values()}
+        for user, debt in self.scheduler.debts(users).items():
+            telemetry.gauge_set("scheduler_fair_share_debt", debt, user=user)

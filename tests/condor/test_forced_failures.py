@@ -1,0 +1,125 @@
+"""Tests for forced-failure validation and runtime overrides.
+
+``forced_failures`` is the fault-injection knob shared by the simulator
+and the real local executor.  A typo'd node id must fail loudly at
+execution start (a silently ignored id makes a chaos test vacuously
+pass), and an execute-time override must merge over the configured map.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.condor.local import ExecutableRegistry, LocalExecutor
+from repro.condor.pool import CondorPool, GridTopology
+from repro.condor.simulator import (
+    GridSimulator,
+    SimulationOptions,
+    merge_forced_failures,
+)
+from repro.core.errors import ExecutionError
+from repro.rls.rls import ReplicaLocationService
+from repro.rls.site import StorageSite
+from repro.workflow.abstract import AbstractJob
+from repro.workflow.concrete import ComputeNode, ConcreteWorkflow
+
+
+def topo(slots=2) -> GridTopology:
+    t = GridTopology()
+    t.add_pool(CondorPool("isi", slots=slots, speed=1.0))
+    return t
+
+
+def workflow(n=2) -> ConcreteWorkflow:
+    cw = ConcreteWorkflow()
+    prev = None
+    for i in range(n):
+        node = ComputeNode(
+            f"j{i}",
+            AbstractJob(f"d{i}", "galMorph", (), (f"o{i}",)),
+            "isi",
+            "/bin/x",
+        )
+        cw.add(node)
+        if prev:
+            cw.link(prev, node.node_id)
+        prev = node.node_id
+    return cw
+
+
+class TestMergeForcedFailures:
+    def test_plain_merge(self):
+        merged = merge_forced_failures(workflow(), {"j0": 1}, {"j1": 2})
+        assert merged == {"j0": 1, "j1": 2}
+
+    def test_override_wins(self):
+        merged = merge_forced_failures(workflow(), {"j0": 1}, {"j0": 5})
+        assert merged == {"j0": 5}
+
+    def test_empty_maps_ok(self):
+        assert merge_forced_failures(workflow(), {}) == {}
+
+    def test_unknown_ids_listed(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            merge_forced_failures(workflow(), {"jX": 1}, {"ghost": 2})
+        message = str(excinfo.value)
+        assert "ghost" in message and "jX" in message
+
+
+class TestSimulatorValidation:
+    def test_configured_unknown_node_rejected_at_startup(self):
+        sim = GridSimulator(topo(), SimulationOptions(forced_failures={"nope": 1}))
+        with pytest.raises(ExecutionError, match="nope"):
+            sim.execute(workflow())
+
+    def test_runtime_override_validated_and_applied(self):
+        sim = GridSimulator(topo(), SimulationOptions(runtime_jitter=0.0, max_retries=2))
+        with pytest.raises(ExecutionError, match="ghost"):
+            sim.execute(workflow(), forced_failures={"ghost": 1})
+        report = sim.execute(workflow(), forced_failures={"j0": 1})
+        assert report.succeeded and report.retries == 1
+
+    def test_override_beats_configured_count(self):
+        sim = GridSimulator(
+            topo(),
+            SimulationOptions(
+                runtime_jitter=0.0, forced_failures={"j0": 99}, max_retries=2
+            ),
+        )
+        # Overriding j0 down to a single failure lets the retry recover it.
+        report = sim.execute(workflow(), forced_failures={"j0": 1})
+        assert report.succeeded
+
+
+def local_executor(**kwargs) -> tuple[LocalExecutor, ConcreteWorkflow]:
+    sites = {"isi": StorageSite("isi")}
+    rls = ReplicaLocationService()
+    rls.add_site("isi")
+    registry = ExecutableRegistry()
+    registry.register("galMorph", lambda job, inputs: {job.outputs[0]: b"out"})
+    return LocalExecutor(sites, registry, rls, **kwargs), workflow()
+
+
+class TestLocalExecutorFailures:
+    def test_configured_unknown_node_rejected(self):
+        executor, cw = local_executor(forced_failures={"bogus": 1})
+        with pytest.raises(ExecutionError, match="bogus"):
+            executor.execute(cw)
+
+    def test_runtime_override_unknown_node_rejected(self):
+        executor, cw = local_executor()
+        with pytest.raises(ExecutionError, match="ghost"):
+            executor.execute(cw, forced_failures={"ghost": 1})
+
+    def test_forced_failure_retried_then_recovers(self):
+        executor, cw = local_executor(max_retries=2)
+        report = executor.execute(cw, forced_failures={"j0": 1})
+        assert report.succeeded
+        assert report.retries == 1
+
+    def test_forced_failure_exhausts_retries(self):
+        executor, cw = local_executor(max_retries=1)
+        report = executor.execute(cw, forced_failures={"j0": 99})
+        assert not report.succeeded
+        assert report.failed_nodes == ("j0",)
+        assert report.unrunnable_nodes == ("j1",)

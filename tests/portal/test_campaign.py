@@ -77,3 +77,90 @@ class TestRunCampaign:
         assert r.transfers == r.stage_in + r.inter_site + r.stage_out
         assert r.images == r.galaxies + 8
         assert r.image_bytes > 0
+
+
+class TestCampaignFailures:
+    def test_clean_run_reports_success(self):
+        env = build_demo_environment(clusters=[cluster("CAMP-OK", 6)], seed_virtual_data_reuse=False)
+        report = run_campaign(env, analyze=False)
+        assert report.succeeded
+        assert report.failed_clusters == []
+        assert report.failed_nodes == 0 and report.unrunnable_nodes == 0
+        assert not report.records[0].failed
+
+    def test_failed_cluster_surfaces_node_counts(self):
+        env = build_demo_environment(
+            clusters=[cluster("CAMP-F", 6)],
+            seed_virtual_data_reuse=False,
+            max_retries=1,
+        )
+        env.vds.simulation_options.forced_failures["job-dv-CAMP-F-0000"] = 99
+        report = run_campaign(env, analyze=False)
+        assert not report.succeeded
+        assert report.failed_clusters == ["CAMP-F"]
+        record = report.records[0]
+        assert record.failed
+        assert record.failed_nodes == 1
+        assert record.unrunnable_nodes >= 1  # concat (at least) never ran
+        assert record.error
+        assert "CAMP-F" in report.failure_summary()
+
+    def test_failure_does_not_abort_remaining_clusters(self):
+        clusters = [cluster("CAMP-F1", 6, ra=40.0), cluster("CAMP-F2", 7, ra=80.0)]
+        env = build_demo_environment(
+            clusters=clusters, seed_virtual_data_reuse=False, max_retries=1
+        )
+        env.vds.simulation_options.forced_failures[
+            "job-dv-concat-CAMP-F1-morphology.vot"
+        ] = 99
+        report = run_campaign(env, cluster_names=["CAMP-F1", "CAMP-F2"], analyze=False)
+        # CAMP-F1's failure is recorded and the campaign moves on to CAMP-F2
+        # rather than aborting the whole run.
+        assert len(report.records) == 2
+        assert report.records[0].cluster == "CAMP-F1"
+        assert report.records[0].failed and report.records[0].failed_nodes == 1
+        assert report.records[1].cluster == "CAMP-F2"
+        # CAMP-F2 trips the forced-failure validation (its DAG has no such
+        # node) — still recorded per cluster, not raised out of the driver.
+        assert report.records[1].failed
+        assert "unknown workflow nodes" in (report.records[1].error or "")
+
+    def test_cleared_fault_lets_later_run_succeed(self):
+        env = build_demo_environment(
+            clusters=[cluster("CAMP-R", 7)], seed_virtual_data_reuse=False, max_retries=1
+        )
+        env.vds.simulation_options.forced_failures[
+            "job-dv-concat-CAMP-R-morphology.vot"
+        ] = 99
+        report = run_campaign(env, analyze=False)
+        assert not report.succeeded
+        env.vds.simulation_options.forced_failures.clear()
+        report2 = run_campaign(env, analyze=False)
+        assert report2.succeeded
+        assert report2.records[0].galaxies == 7
+
+    def test_failed_record_marks_synthetic_fields(self):
+        record_obj = record("X")
+        assert not record_obj.failed
+        failed = ClusterRunRecord(
+            cluster="Y",
+            galaxies=0,
+            compute_jobs=0,
+            transfers=0,
+            stage_in=0,
+            inter_site=0,
+            stage_out=0,
+            images=0,
+            image_bytes=0,
+            valid_measurements=0,
+            jobs_per_site={},
+            analysis=None,
+            failed_nodes=2,
+            unrunnable_nodes=3,
+            error="boom",
+        )
+        assert failed.failed
+        report = CampaignReport(records=[record_obj, failed])
+        assert report.failed_clusters == ["Y"]
+        assert report.failed_nodes == 2 and report.unrunnable_nodes == 3
+        assert "boom" in report.failure_summary()

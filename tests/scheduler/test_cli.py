@@ -1,0 +1,112 @@
+"""Tests for the scheduler CLI verbs and the campaign exit code."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.catalog.coords import SkyPosition
+from repro.cli import main
+from repro.portal.demo import build_demo_environment
+from repro.sky.cluster import ClusterModel
+
+
+def tiny(name: str, n: int = 6, ra: float = 25.0) -> ClusterModel:
+    return ClusterModel(
+        name=name,
+        center=SkyPosition(ra, 3.0),
+        redshift=0.04,
+        n_galaxies=n,
+        seed=13,
+        context_image_count=5,
+    )
+
+
+class TestSubmitAndQueueVerbs:
+    def test_submit_then_queue(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["submit", "alice", "A3526", "--journal", journal]) == 0
+        assert main(
+            ["submit", "bob", "MS0451", "--journal", journal, "-o", "bins=5",
+             "--priority", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "queued job-000000-" in out and "queued job-000001-" in out
+        assert "priority=3" in out
+
+        assert main(["queue", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "bob" in out
+        assert "queued=2" in out
+
+    def test_queue_empty(self, tmp_path, capsys):
+        assert main(["queue", "--journal", str(tmp_path / "missing.jsonl")]) == 0
+        assert "queue is empty" in capsys.readouterr().out
+
+    def test_submit_rejects_malformed_option(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["submit", "alice", "A3526", "--journal",
+                  str(tmp_path / "j.jsonl"), "-o", "oops"])
+
+    def test_option_values_are_typed(self):
+        assert cli._parse_options(["a=1", "b=2.5", "c=true", "d=x"]) == {
+            "a": 1, "b": 2.5, "c": True, "d": "x",
+        }
+
+
+class TestServeVerb:
+    def test_spool_then_serve_then_queue(self, tmp_path, capsys, monkeypatch):
+        clusters = [tiny("CLI-A", ra=20.0), tiny("CLI-B", n=7, ra=70.0)]
+        monkeypatch.setattr(
+            cli,
+            "_env",
+            lambda *a, **k: build_demo_environment(
+                clusters=clusters, seed_virtual_data_reuse=False
+            ),
+        )
+        journal = str(tmp_path / "journal.jsonl")
+        main(["submit", "alice", "CLI-A", "--journal", journal])
+        main(["submit", "bob", "CLI-B", "--journal", journal])
+        main(["submit", "carol", "CLI-A", "--journal", journal])  # cache hit
+        capsys.readouterr()
+
+        assert main(["serve", "--journal", journal, "--max-workers", "2",
+                     "--timeout", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queued job(s)" in out
+        assert out.count("completed") == 3
+        assert "yes" in out  # carol's duplicate derivation hit the cache
+
+        assert main(["queue", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "completed=3" in out
+        assert "charged usage" in out
+
+
+class TestCampaignExitCode:
+    def test_nonzero_on_failed_cluster(self, capsys, monkeypatch):
+        def env_factory(*args, **kwargs):
+            env = build_demo_environment(
+                clusters=[tiny("CLI-F", n=6)],
+                seed_virtual_data_reuse=False,
+                max_retries=1,
+            )
+            env.vds.simulation_options.forced_failures["job-dv-CLI-F-0000"] = 99
+            return env
+
+        monkeypatch.setattr(cli, "_env", env_factory)
+        assert main(["campaign"]) == 1
+        captured = capsys.readouterr()
+        assert "did not complete" in captured.err
+        assert "failed node(s)" in captured.err
+
+    def test_zero_on_clean_run(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            cli,
+            "_env",
+            lambda *a, **k: build_demo_environment(
+                clusters=[tiny("CLI-OK", n=6)], seed_virtual_data_reuse=False
+            ),
+        )
+        assert main(["campaign"]) == 0
+        assert "did not complete" not in capsys.readouterr().err

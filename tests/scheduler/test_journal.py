@@ -1,0 +1,126 @@
+"""Tests for the JSONL journal and its crash-replay fold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.scheduler.job import JobRecord, JobSpec, JobState, derivation_signature
+from repro.scheduler.journal import JobJournal, replay_events
+
+
+def submit_line(journal: JobJournal, seq: int, user: str, cluster: str) -> JobRecord:
+    spec = JobSpec.create(user, cluster)
+    record = JobRecord(
+        job_id=f"job-{seq:06d}-test",
+        spec=spec,
+        signature=derivation_signature(spec),
+        seq=seq,
+        submitted_at=float(seq),
+    )
+    journal.append("submit", job=record.as_record())
+    return record
+
+
+class TestJobJournal:
+    def test_memory_journal_round_trips(self):
+        journal = JobJournal(None)
+        journal.append("rescue", signature="sig-x", nodes=["a"])
+        assert [line["event"] for line in journal.events()] == ["rescue"]
+
+    def test_file_journal_persists(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        submit_line(journal, 0, "alice", "A3526")
+        # A second handle over the same file sees the same events.
+        again = JobJournal(path)
+        assert len(again.events()) == 1
+        assert again.replay().fingerprint() == journal.replay().fingerprint()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = JobJournal(tmp_path / "nope.jsonl")
+        assert journal.events() == []
+        assert journal.replay().jobs == {}
+
+    def test_unknown_event_rejected_at_append(self):
+        with pytest.raises(SchedulerError):
+            JobJournal(None).append("explode")
+
+
+class TestReplay:
+    def test_submission_order_preserved(self):
+        journal = JobJournal(None)
+        for seq, (user, cluster) in enumerate(
+            [("alice", "A"), ("bob", "B"), ("alice", "C")]
+        ):
+            submit_line(journal, seq, user, cluster)
+        state = journal.replay()
+        assert [r.seq for r in state.jobs.values()] == [0, 1, 2]
+        assert state.max_seq == 2
+        assert len(state.queued_jobs()) == 3
+
+    def test_terminal_jobs_not_requeued(self):
+        journal = JobJournal(None)
+        a = submit_line(journal, 0, "alice", "A")
+        b = submit_line(journal, 1, "bob", "B")
+        c = submit_line(journal, 2, "carol", "C")
+        journal.append("start", job_id=a.job_id)
+        journal.append("complete", job_id=a.job_id, cache_hit=False, cost=3.0)
+        journal.append("start", job_id=b.job_id)
+        journal.append("fail", job_id=b.job_id, error="boom")
+        journal.append("cancel", job_id=c.job_id)
+        state = journal.replay()
+        assert state.jobs[a.job_id].state is JobState.COMPLETED
+        assert state.jobs[b.job_id].state is JobState.FAILED
+        assert state.jobs[b.job_id].error == "boom"
+        assert state.jobs[c.job_id].state is JobState.CANCELLED
+        assert state.queued_jobs() == []
+
+    def test_running_at_crash_requeued(self):
+        journal = JobJournal(None)
+        a = submit_line(journal, 0, "alice", "A")
+        journal.append("start", job_id=a.job_id)
+        # ... crash: no terminal event ever lands.
+        state = journal.replay()
+        record = state.jobs[a.job_id]
+        assert record.state is JobState.QUEUED
+        assert record.started_at is None
+        assert record.attempts == 1  # the interrupted attempt stays counted
+
+    def test_usage_accrues_to_users(self):
+        journal = JobJournal(None)
+        a = submit_line(journal, 0, "alice", "A")
+        b = submit_line(journal, 1, "alice", "B")
+        journal.append("start", job_id=a.job_id)
+        journal.append("complete", job_id=a.job_id, cost=2.5)
+        journal.append("start", job_id=b.job_id)
+        journal.append("complete", job_id=b.job_id, cost=1.5)
+        assert journal.replay().usage == {"alice": 4.0}
+
+    def test_rescue_set_and_cleared(self):
+        journal = JobJournal(None)
+        journal.append("rescue", signature="sig-x", nodes=["n1", "n2"])
+        assert journal.replay().rescue == {"sig-x": {"n1", "n2"}}
+        journal.append("rescue", signature="sig-x", nodes=[])
+        assert journal.replay().rescue == {}
+
+    def test_duplicate_submit_rejected(self):
+        journal = JobJournal(None)
+        a = submit_line(journal, 0, "alice", "A")
+        journal.append("submit", job=a.as_record())
+        with pytest.raises(SchedulerError):
+            journal.replay()
+
+    def test_event_for_unknown_job_rejected(self):
+        with pytest.raises(SchedulerError):
+            replay_events([{"ts": 0.0, "event": "start", "job_id": "ghost"}])
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(SchedulerError):
+            replay_events([{"ts": 0.0, "event": "mystery"}])
+
+    def test_fingerprint_is_replay_stable(self):
+        journal = JobJournal(None)
+        for seq in range(5):
+            submit_line(journal, seq, f"user{seq % 2}", f"C{seq}")
+        assert journal.replay().fingerprint() == journal.replay().fingerprint()
