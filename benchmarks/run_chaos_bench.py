@@ -1,0 +1,184 @@
+"""Headless chaos/resilience benchmark.
+
+Two questions, answered into ``BENCH_chaos.json`` at the repo root:
+
+1. **What does the resilience layer cost when it is off?**  Every fault
+   hook in the hot paths is a single ``x is not None`` branch (services,
+   RLS, both executors); retry wrappers are not even entered when no
+   policy is configured.  The bench measures the per-call cost of the
+   guarded RLS boundary directly (wrapped vs. raw lookup), scales it by a
+   generous over-count of every hook crossing in a real one-cluster
+   analysis, and gates the total against the measured run wall time:
+   the disabled layer must cost **< 1%** (``--check``).
+
+2. **Does the recovery invariant hold, and what did recovery cost?**
+   One canonical-profile chaos campaign per run: recovered yes/no,
+   faults injected, scheduler requeues, and the chaos-vs-baseline wall
+   ratio are appended to the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_chaos_bench.py --quick
+    PYTHONPATH=src python benchmarks/run_chaos_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.chaos import run_chaos_campaign  # noqa: E402
+from repro.portal.demo import build_demo_environment  # noqa: E402
+from repro.sky.registry_data import demonstration_cluster  # noqa: E402
+
+TRAJECTORY = REPO_ROOT / "BENCH_chaos.json"
+
+#: Maximum tolerated disabled-layer cost relative to run wall time.
+OVERHEAD_BUDGET = 0.01
+
+#: Cluster small enough for CI, large enough to cross every hook surface.
+BENCH_CLUSTER = "A3526"
+
+
+def _measure_hook_unit_cost_s(env, iterations: int) -> float:
+    """Per-call cost of one disabled fault hook, measured at the RLS.
+
+    ``rls.exists`` carries the canonical disabled-path shape — an
+    ``is not None`` test before dispatching to the raw implementation —
+    so (wrapped - raw) isolates exactly what the resilience layer added.
+    Negative timing noise clamps to zero.
+    """
+    rls = env.vds.rls
+    lfn = "bench-probe.fit"
+
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        rls.exists(lfn)
+    wrapped = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        rls._exists_impl(lfn)  # noqa: SLF001 - the pre-hook code path
+    raw = time.perf_counter() - t0
+
+    return max(0.0, (wrapped - raw) / iterations)
+
+
+def bench_disabled_overhead(quick: bool) -> dict:
+    """Fault-free analysis run + scaled hook-cost accounting."""
+    cluster = demonstration_cluster(BENCH_CLUSTER)
+    env = build_demo_environment(clusters=[cluster])
+
+    t0 = time.perf_counter()
+    session = env.portal.run_analysis(BENCH_CLUSTER)
+    wall_s = time.perf_counter() - t0
+    assert session.merged is not None and len(session.merged) > 0
+
+    unit_cost_s = _measure_hook_unit_cost_s(env, 2_000 if quick else 20_000)
+
+    # Generous over-count of hook crossings in the run: every RLS query,
+    # every service call (queries + per-galaxy fetches + polls), and two
+    # hooks per DAG node (launch decision + health bookkeeping).
+    request = list(env.compute_service.requests.values())[-1]
+    report = request.report
+    nodes = 0
+    if report is not None:
+        nodes = len(report.compute_runs) + len(report.transfer_runs)
+    galaxies = len(session.merged)
+    hook_crossings = (
+        env.vds.rls.query_count
+        + 6 * galaxies  # cone/SIA/cutout queries + fetches, over-counted
+        + 2 * nodes
+        + 100  # campaign fixed costs (archive queries, merges, polls)
+    )
+    overhead_s = unit_cost_s * hook_crossings
+    fraction = overhead_s / wall_s if wall_s > 0 else 0.0
+    return {
+        "wall_s": round(wall_s, 4),
+        "hook_unit_cost_ns": round(unit_cost_s * 1e9, 1),
+        "hook_crossings": hook_crossings,
+        "overhead_s": round(overhead_s, 6),
+        "overhead_fraction": round(fraction, 6),
+        "budget": OVERHEAD_BUDGET,
+        "within_budget": fraction < OVERHEAD_BUDGET,
+    }
+
+
+def bench_chaos_recovery() -> dict:
+    """One canonical recoverable campaign; wall cost of recovery."""
+    t0 = time.perf_counter()
+    report = run_chaos_campaign(profile="recoverable", clusters=[BENCH_CLUSTER])
+    wall_s = time.perf_counter() - t0
+    return {
+        "profile": report.profile,
+        "recovered": report.recovered,
+        "total_injected": sum(report.injected.values()),
+        "requeues": sum(o.requeues for o in report.outcomes),
+        "breaker_open_sites": [
+            site for site, state in report.breaker_states.items() if state == "open"
+        ],
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="fewer micro iterations")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless overhead < budget and the recovery invariant holds",
+    )
+    args = parser.parse_args(argv)
+
+    overhead = bench_disabled_overhead(quick=args.quick)
+    chaos = bench_chaos_recovery()
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "mode": "quick" if args.quick else "full",
+        "disabled_overhead": overhead,
+        "chaos_recovery": chaos,
+    }
+
+    history = {"history": []}
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history["history"].append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"disabled-layer overhead: {overhead['overhead_fraction']:.4%} of "
+        f"{overhead['wall_s']:.2f}s wall "
+        f"({overhead['hook_unit_cost_ns']:.0f} ns x {overhead['hook_crossings']} hooks)"
+        f" -> budget {OVERHEAD_BUDGET:.0%}: "
+        f"{'OK' if overhead['within_budget'] else 'EXCEEDED'}"
+    )
+    print(
+        f"chaos recovery ({chaos['profile']}): "
+        f"{'byte-identical' if chaos['recovered'] else 'MISMATCH'}; "
+        f"{chaos['total_injected']} faults, {chaos['requeues']} requeue(s), "
+        f"breakers open: {chaos['breaker_open_sites'] or 'none'}; "
+        f"{chaos['wall_s']:.2f}s wall"
+    )
+    print(f"trajectory -> {TRAJECTORY}")
+
+    if args.check:
+        if not overhead["within_budget"]:
+            print("FAIL: disabled-layer overhead exceeds budget", file=sys.stderr)
+            return 1
+        if not chaos["recovered"]:
+            print("FAIL: recovery invariant violated", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

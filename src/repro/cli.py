@@ -52,10 +52,14 @@ def _telemetry_end(args: argparse.Namespace, active: bool) -> None:
             fh.write(telemetry.prometheus_text())
         print(f"metrics -> {metrics_path}")
     if getattr(args, "report", False):
-        from repro.telemetry.report import render_report
+        from repro.telemetry.report import render_report, render_resilience_summary
 
         print()
         print(render_report(tracer.spans(), top=getattr(args, "top", 5)), end="")
+        resilience = render_resilience_summary(telemetry.get_registry())
+        if resilience:
+            print()
+            print(resilience, end="")
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -356,6 +360,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection campaign + recovery invariant (the chaos harness)."""
+    import json
+
+    from repro.faults.chaos import run_chaos_campaign
+
+    traced = _telemetry_begin(args)
+    try:
+        report = run_chaos_campaign(
+            profile=args.profile,
+            clusters=args.cluster or None,
+            seed=args.seed,
+            max_workers=args.max_workers,
+            requeue_attempts=args.requeue_attempts,
+        )
+    except ValueError as exc:  # unknown profile: list the valid ones
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    _telemetry_end(args, traced)
+    if report.recoverable and not report.recovered:
+        print("error: recovery invariant violated", file=sys.stderr)
+    if not report.recoverable and not report.graceful:
+        print("error: degradation was not graceful (wedged jobs)", file=sys.stderr)
+    return report.exit_code()
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     env = _env([args.cluster])
     env.portal.run_analysis(args.cluster)
@@ -443,6 +477,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None, help="drain timeout in seconds")
     _add_telemetry_options(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a fault-injection campaign and assert the recovery invariant",
+    )
+    p.add_argument(
+        "--profile", default="recoverable",
+        help="fault profile (recoverable, degraded-archives, grid-down)",
+    )
+    p.add_argument(
+        "--cluster", action="append", default=[], metavar="NAME",
+        help="cluster to run (repeatable; default: a small two-cluster set)",
+    )
+    p.add_argument("--seed", type=int, default=2003, help="fault-schedule seed")
+    p.add_argument("--max-workers", type=int, default=2, help="concurrent campaigns")
+    p.add_argument(
+        "--requeue-attempts", type=int, default=3,
+        help="scheduler attempts per job under chaos (transient requeue)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    _add_telemetry_options(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("explain", help="provenance of a logical file after an analysis")
     p.add_argument("cluster")

@@ -15,16 +15,26 @@ import contextvars
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro import telemetry
 from repro.condor.dagman import DagmanState, NodeStatus
 from repro.condor.gram import GramGateway, GridCredential
 from repro.condor.report import ExecutionReport, NodeRun
-from repro.core.errors import ExecutionError, TransportError
+from repro.core.errors import (
+    ExecutionError,
+    StaleReplicaError,
+    TransientTransportError,
+    TransportError,
+)
 from repro.core.provenance import InvocationRecord, ProvenanceStore
-from repro.rls.rls import ReplicaLocationService
+from repro.resilience.breaker import SiteHealthTracker
+from repro.resilience.retry import RetryPolicy, retry_call
+from repro.rls.rls import Replica, ReplicaLocationService
 from repro.rls.site import StorageSite
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.utils.events import EventLog
 from repro.workflow.abstract import AbstractJob
 from repro.workflow.concrete import (
@@ -128,6 +138,9 @@ class LocalExecutor:
         gram: GramGateway | None = None,
         credential: GridCredential | None = None,
         forced_failures: dict[str, int] | None = None,
+        faults: "FaultInjector | None" = None,
+        health: SiteHealthTracker | None = None,
+        gram_retry: RetryPolicy | None = None,
     ) -> None:
         self.sites = dict(sites)
         self.registry = registry
@@ -141,6 +154,15 @@ class LocalExecutor:
         #: Node ids whose first N attempts raise (fault injection; validated
         #: against the workflow DAG at execute() start-up, like the simulator).
         self.forced_failures = dict(forced_failures or {})
+        #: Chaos fault oracle (site outages / flakes / transfer failures);
+        #: ``None`` — the default — leaves the execution paths untouched.
+        self.faults = faults
+        #: Shared per-site circuit-breaker ledger; node outcomes feed it so
+        #: the planner's health-aware site selection can route around
+        #: misbehaving sites on the next (re)plan.
+        self.health = health
+        #: Retry policy for GRAM submission (transient gatekeeper refusals).
+        self.gram_retry = gram_retry
         self._rls_lock = threading.Lock()
 
     # -- storage helpers -----------------------------------------------------
@@ -161,10 +183,31 @@ class LocalExecutor:
                 return site.get(replica.pfn)
         raise TransportError(f"input {lfn!r} not present at site {site_name!r}")
 
+    def _submit_gram(self, site_name: str) -> None:
+        """GRAM submission, retried under the configured policy.
+
+        A 2003 gatekeeper sheds load with transient refusals; wrapping the
+        submit in the shared retry ladder absorbs them.  Without a policy
+        this is a plain call.
+        """
+        if self.gram_retry is None:
+            self.gram.submit(site_name, self.credential, time.time())
+            return
+
+        def on_backoff(attempt: int, delay: float, exc: BaseException) -> None:
+            telemetry.count("resilience_retries_total", target="gram")
+
+        retry_call(
+            lambda: self.gram.submit(site_name, self.credential, time.time()),
+            self.gram_retry,
+            label=f"gram/{site_name}",
+            on_backoff=on_backoff,
+        )
+
     # -- node bodies (run on worker threads) -------------------------------------
     def _run_compute(self, node: ComputeNode) -> None:
         if self.gram is not None and self.credential is not None:
-            self.gram.submit(node.site, self.credential, time.time())
+            self._submit_gram(node.site)
         inputs = {lfn: self._read_input(node.site, lfn) for lfn in node.job.inputs}
         fn = self.registry.get(node.job.transformation)
         outputs = fn(node.job, inputs)
@@ -201,7 +244,7 @@ class LocalExecutor:
 
         if self.gram is not None and self.credential is not None:
             for member in payload.members:
-                self.gram.submit(member.site, self.credential, time.time())
+                self._submit_gram(member.site)
         jobs = [member.job for member in payload.members]
         inputs_list = [
             {lfn: self._read_input(member.site, lfn) for lfn in member.job.inputs}
@@ -226,9 +269,50 @@ class LocalExecutor:
 
     def _run_transfer(self, node: TransferNode) -> int:
         source = self._site(node.source_site)
-        content = source.get(node.source_pfn)
+        try:
+            content = source.get(node.source_pfn)
+        except TransportError:
+            content = self._failover_fetch(node)
         self._site(node.dest_site).put(node.dest_pfn, content)
         return len(content)
+
+    def _failover_fetch(self, node: TransferNode) -> bytes:
+        """Stage-in failover: the planned source PFN is gone.
+
+        The RLS mapping that produced this transfer was stale — unregister
+        it so no later plan trips over it, then walk the remaining
+        replicas in catalog order and serve the first one that verifies.
+        Only when *no* replica holds the bytes does the failure propagate
+        (as :class:`StaleReplicaError`, retried by DAGMan like any other
+        node failure).
+        """
+        self.rls.invalidate_stale(
+            Replica(lfn=node.lfn, pfn=node.source_pfn, site=node.source_site)
+        )
+        for replica in self.rls.lookup(node.lfn):
+            site = self.sites.get(replica.site)
+            if site is None:
+                continue
+            try:
+                content = site.get(replica.pfn)
+            except TransportError:
+                self.rls.invalidate_stale(replica)
+                continue
+            telemetry.count("resilience_replica_failovers_total")
+            self.events.emit(
+                0.0,
+                "local-executor",
+                "replica-failover",
+                lfn=node.lfn,
+                stale_site=node.source_site,
+                served_from=replica.site,
+            )
+            return content
+        raise StaleReplicaError(
+            f"no live replica of {node.lfn!r}: planned source "
+            f"{node.source_pfn!r} at {node.source_site!r} vanished and no "
+            "alternative replica verified"
+        )
 
     def _run_registration(self, node: RegistrationNode) -> None:
         with self._rls_lock:
@@ -271,6 +355,19 @@ class LocalExecutor:
     @staticmethod
     def _forced_failure(node_id: str, attempt: int) -> int:
         raise ExecutionError(f"forced failure of node {node_id!r} (attempt {attempt})")
+
+    @staticmethod
+    def _injected_site_failure(node_id: str, site: str, attempt: int) -> int:
+        raise ExecutionError(
+            f"injected site fault: {site!r} refused node {node_id!r} (attempt {attempt})"
+        )
+
+    @staticmethod
+    def _injected_transfer_failure(node_id: str, site: str, attempt: int) -> int:
+        raise TransientTransportError(
+            f"injected transfer fault: stage to {site!r} dropped for node "
+            f"{node_id!r} (attempt {attempt})"
+        )
 
     # -- the driver loop -----------------------------------------------------------
     def execute(
@@ -326,6 +423,25 @@ class LocalExecutor:
                         future = pool.submit(self._forced_failure, node_id, attempt)
                         in_flight[future] = node_id
                         continue
+                    if self.faults is not None:
+                        site = _payload_site(payload)
+                        kind = _payload_kind(payload)
+                        if kind == "compute" and self.faults.site_attempt_fails(
+                            site, node_id, attempt
+                        ):
+                            future = pool.submit(
+                                self._injected_site_failure, node_id, site, attempt
+                            )
+                            in_flight[future] = node_id
+                            continue
+                        if kind == "transfer" and self.faults.transfer_fails(
+                            site, node_id, attempt
+                        ):
+                            future = pool.submit(
+                                self._injected_transfer_failure, node_id, site, attempt
+                            )
+                            in_flight[future] = node_id
+                            continue
                     if telemetry.enabled():
                         # a copied Context can be entered once, so copy per task
                         ctx = contextvars.copy_context()
@@ -348,6 +464,11 @@ class LocalExecutor:
                     node_id = in_flight.pop(future)
                     payload = workflow.dag.payload(node_id)
                     exc = future.exception()
+                    if self.health is not None:
+                        if exc is None:
+                            self.health.record_success(_payload_site(payload))
+                        else:
+                            self.health.record_failure(_payload_site(payload))
                     if exc is None:
                         dagman.mark_success(node_id)
                         telemetry.count("workflow_nodes_total", state="succeeded")

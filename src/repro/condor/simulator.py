@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -21,8 +21,12 @@ from repro import telemetry
 from repro.condor.dagman import DagmanState, NodeStatus
 from repro.condor.pool import GridTopology
 from repro.condor.report import ExecutionReport, NodeRun
+from repro.resilience.breaker import SiteHealthTracker
 from repro.utils.events import EventLog
 from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.workflow.concrete import (
     ClusteredComputeNode,
     ComputeNode,
@@ -96,6 +100,8 @@ class GridSimulator:
         size_lookup: Callable[[str], int] | None = None,
         event_log: EventLog | None = None,
         mds: "MonitoringService | None" = None,
+        faults: "FaultInjector | None" = None,
+        health: SiteHealthTracker | None = None,
     ) -> None:
         self.topology = topology
         self.options = options if options is not None else SimulationOptions()
@@ -103,6 +109,11 @@ class GridSimulator:
         self.events = event_log if event_log is not None else EventLog()
         #: when set, the simulator publishes live pool load into the MDS
         self.mds = mds
+        #: chaos fault oracle; ``None`` (default) leaves the failure model
+        #: exactly as seeded (pool failure_rate + forced_failures only)
+        self.faults = faults
+        #: shared circuit-breaker ledger fed with per-attempt outcomes
+        self.health = health
 
     # -- duration / failure models ------------------------------------------------
     def _compute_duration(self, node: ComputeNode, rng: np.random.Generator) -> float:
@@ -148,6 +159,7 @@ class GridSimulator:
         attempt: int,
         rng: np.random.Generator,
         forced_failures: dict[str, int] | None = None,
+        now: float = 0.0,
     ) -> bool:
         forced_map = (
             forced_failures if forced_failures is not None else self.options.forced_failures
@@ -155,6 +167,13 @@ class GridSimulator:
         forced = forced_map.get(node_id, 0)
         if attempt <= forced:
             return True
+        if self.faults is not None:
+            if isinstance(payload, (ComputeNode, ClusteredComputeNode)):
+                if self.faults.site_attempt_fails(payload.site, node_id, attempt, now):
+                    return True
+            elif isinstance(payload, TransferNode):
+                if self.faults.transfer_fails(payload.dest_site, node_id, attempt):
+                    return True
         if isinstance(payload, ComputeNode):
             pool = self.topology.pools.get(payload.site)
             if pool is not None and pool.failure_rate > 0:
@@ -285,7 +304,13 @@ class GridSimulator:
                 publish_load(payload.site)
 
             attempt = dagman.attempts[node_id]
-            if self._attempt_fails(node_id, payload, attempt, rng, forced):
+            failed = self._attempt_fails(node_id, payload, attempt, rng, forced, now=clock)
+            if self.health is not None:
+                if failed:
+                    self.health.record_failure(site_of(payload))
+                else:
+                    self.health.record_success(site_of(payload))
+            if failed:
                 will_retry = dagman.mark_failure(node_id)
                 self.events.emit(clock, "simulator", "node-failed", node=node_id, attempt=attempt, retry=will_retry)
                 if will_retry:

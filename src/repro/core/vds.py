@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from typing import TYPE_CHECKING
+
 from repro.condor.local import ExecutableRegistry, LocalExecutor
 from repro.condor.pool import GridTopology
 from repro.condor.report import ExecutionReport
@@ -20,7 +22,13 @@ from repro.core.errors import ExecutionError
 from repro.core.provenance import ProvenanceStore
 from repro.pegasus.options import PlannerOptions
 from repro.pegasus.planner import PegasusPlanner, PlanResult
+from repro.pegasus.site_selector import HealthAwareSiteSelector, make_site_selector
+from repro.resilience.breaker import SiteHealthTracker
+from repro.resilience.retry import RetryPolicy
 from repro.rls.rls import ReplicaLocationService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.rls.site import StorageSite
 from repro.tc.catalog import TransformationCatalog
 from repro.utils.events import EventLog
@@ -48,11 +56,21 @@ class VirtualDataSystem:
         planner_options: PlannerOptions | None = None,
         simulation_options: SimulationOptions | None = None,
         max_workers: int = 8,
+        faults: "FaultInjector | None" = None,
+        health: SiteHealthTracker | None = None,
+        gram_retry: RetryPolicy | None = None,
     ) -> None:
         self.topology = topology if topology is not None else GridTopology.default_demo()
         self.events = EventLog()
         self.vdc = VirtualDataCatalog()
-        self.rls = ReplicaLocationService(self.events)
+        #: chaos fault oracle shared by the RLS and both execution engines
+        self.faults = faults
+        #: per-site circuit-breaker ledger: executors feed it, planning
+        #: consults it (health-aware site selection routes replans around
+        #: sites whose breaker is OPEN)
+        self.health = health
+        self.gram_retry = gram_retry
+        self.rls = ReplicaLocationService(self.events, faults=faults)
         self.tc = TransformationCatalog()
         self.registry = ExecutableRegistry()
         self.provenance = ProvenanceStore()
@@ -71,7 +89,19 @@ class VirtualDataSystem:
             pfn_resolver=self._pfn_resolver,
             size_estimator=self._size_estimator,
             event_log=self.events,
+            site_selector_factory=(
+                self._health_aware_selector if self.health is not None else None
+            ),
         )
+
+    def _health_aware_selector(self) -> HealthAwareSiteSelector:
+        """Planner hook: the configured policy filtered by site health."""
+        base = make_site_selector(
+            self.planner_options.site_selection,
+            seed=self.planner_options.seed,
+            capacities=self.topology.capacities(),
+        )
+        return HealthAwareSiteSelector(base, self.health)
 
     # -- wiring helpers --------------------------------------------------------
     def _pfn_resolver(self, site: str, lfn: str) -> str:
@@ -150,6 +180,9 @@ class VirtualDataSystem:
                 provenance=self.provenance,
                 event_log=self.events,
                 forced_failures=self.simulation_options.forced_failures,
+                faults=self.faults,
+                health=self.health,
+                gram_retry=self.gram_retry,
             )
             return executor.execute(
                 plan.concrete, completed=completed, forced_failures=forced_failures
@@ -160,6 +193,8 @@ class VirtualDataSystem:
                 options=self.simulation_options,
                 size_lookup=self._size_estimator,
                 event_log=self.events,
+                faults=self.faults,
+                health=self.health,
             )
             return simulator.execute(
                 plan.concrete, completed=completed, forced_failures=forced_failures

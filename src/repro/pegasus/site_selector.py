@@ -14,7 +14,9 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.errors import PlanningError
+from repro.resilience.breaker import SiteHealthTracker
 from repro.utils.rng import derive_rng
 
 
@@ -78,6 +80,36 @@ class LeastLoadedSiteSelector(SiteSelector):
         site = min(sorted(known), key=lambda s: self._assigned[s] / self._capacities[s])
         self._assigned[site] += 1
         return site
+
+
+class HealthAwareSiteSelector(SiteSelector):
+    """Decorator: filter candidates through the site-health ledger.
+
+    Wraps any base policy; candidates whose circuit breaker is OPEN are
+    removed *before* the base policy chooses, so a replan after an outage
+    routes around the sick site without the base policy ever seeing it.
+    If every candidate is blacklisted the breaker must not deadlock the
+    plan: the full candidate list is used unfiltered (a HALF_OPEN probe
+    is preferable to an unplannable workflow) and the fallback is
+    counted.
+    """
+
+    def __init__(self, base: SiteSelector, health: SiteHealthTracker) -> None:
+        self.base = base
+        self.health = health
+
+    def choose(self, job_id: str, candidate_sites: list[str]) -> str:
+        self._require(job_id, candidate_sites)
+        healthy = self.health.filter_available(candidate_sites)
+        if healthy:
+            if len(healthy) < len(candidate_sites):
+                telemetry.count(
+                    "resilience_sites_blacklisted_total",
+                    len(candidate_sites) - len(healthy),
+                )
+            return self.base.choose(job_id, healthy)
+        telemetry.count("resilience_blacklist_fallbacks_total")
+        return self.base.choose(job_id, candidate_sites)
 
 
 def make_site_selector(

@@ -25,12 +25,15 @@ from repro.condor.pool import GridTopology
 from repro.condor.simulator import SimulationOptions
 from repro.core.errors import ServiceError
 from repro.core.vds import VirtualDataSystem
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.fits.io import write_fits_bytes
 from repro.pegasus.options import PlannerOptions
 from repro.portal.executables import register_demo_executables
 from repro.portal.portal import GalaxyMorphologyPortal
 from repro.portal.service import GalaxyMorphologyService
 from repro.portal.status import StatusBoard
+from repro.resilience.breaker import SiteHealthTracker
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.services.conesearch import SyntheticPhotometryCatalog, SyntheticRedshiftCatalog
 from repro.services.cutout import CutoutSIAService
 from repro.services.nvoregistry import (
@@ -85,6 +88,10 @@ class DemoEnvironment:
     portal: GalaxyMorphologyPortal
     #: populated when the environment was built with discovery=True
     resource_registry: ResourceRegistry | None = None
+    #: populated when the environment was built with a fault plan
+    fault_injector: FaultInjector | None = None
+    #: per-site circuit-breaker ledger (present iff resilience is enabled)
+    health: SiteHealthTracker | None = None
 
 
 def build_demo_environment(
@@ -97,6 +104,10 @@ def build_demo_environment(
     max_workers: int = 8,
     max_retries: int = 2,
     discovery: bool = False,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    archive_quorum: int | None = None,
+    cutout_quorum: float = 1.0,
 ) -> DemoEnvironment:
     """Construct the complete demonstration environment.
 
@@ -109,11 +120,28 @@ def build_demo_environment(
     (with a mirror for each), the portal's services are *discovered* from
     it, and each is wrapped in a failover facade — an archive outage
     mid-session fails over to the mirror instead of failing the user.
+
+    ``fault_plan`` switches on chaos mode: a deterministic
+    :class:`~repro.faults.plan.FaultInjector` is threaded through every
+    data service, the RLS and both execution engines, and the resilience
+    layer (retry policies, per-site circuit breakers, health-aware site
+    selection, portal quorum) is armed against it.  When ``fault_plan`` is
+    ``None`` none of this machinery is constructed — the fault-free
+    environment is byte-for-byte the pre-chaos one.
     """
     clusters = tuple(clusters)
     meter = CostMeter()
     transport = TransportModel()
     events = EventLog()
+
+    # --- the chaos + resilience layer ------------------------------------
+    injector: FaultInjector | None = None
+    health: SiteHealthTracker | None = None
+    if fault_plan is not None:
+        injector = fault_plan.injector()
+        health = SiteHealthTracker()
+        if retry_policy is None:
+            retry_policy = DEFAULT_RETRY_POLICY
 
     # --- the Grid ---------------------------------------------------------
     topology = GridTopology.default_demo(failure_rate=failure_rate)
@@ -128,6 +156,9 @@ def build_demo_environment(
         ),
         simulation_options=SimulationOptions(seed=seed, max_retries=max_retries),
         max_workers=max_workers,
+        faults=injector,
+        health=health,
+        gram_retry=retry_policy if injector is not None else None,
     )
     vds.add_storage_site(CACHE_SITE)
     vds.add_storage_site(OUTPUT_SITE)
@@ -143,6 +174,7 @@ def build_demo_environment(
         tiles_per_cluster={name: s[0] for name, s in splits.items()},
         meter=meter,
         transport=transport,
+        faults=injector,
     )
     rosat = XrayImageArchive(
         clusters,
@@ -150,6 +182,7 @@ def build_demo_environment(
         tiles_per_cluster={name: s[1] for name, s in splits.items()},
         meter=meter,
         transport=transport,
+        faults=injector,
     )
     chandra = XrayImageArchive(
         clusters,
@@ -157,10 +190,15 @@ def build_demo_environment(
         tiles_per_cluster={name: s[2] for name, s in splits.items()},
         meter=meter,
         transport=transport,
+        faults=injector,
     )
-    photometry = SyntheticPhotometryCatalog(clusters, meter=meter, transport=transport)
-    redshift = SyntheticRedshiftCatalog(clusters, meter=meter, transport=transport)
-    cutouts = CutoutSIAService(clusters, meter=meter, transport=transport)
+    photometry = SyntheticPhotometryCatalog(
+        clusters, meter=meter, transport=transport, faults=injector
+    )
+    redshift = SyntheticRedshiftCatalog(
+        clusters, meter=meter, transport=transport, faults=injector
+    )
+    cutouts = CutoutSIAService(clusters, meter=meter, transport=transport, faults=injector)
 
     resource_registry: ResourceRegistry | None = None
     portal_optical = optical
@@ -233,6 +271,7 @@ def build_demo_environment(
         meter=meter,
         status_board=StatusBoard(),
         event_log=events,
+        retry_policy=retry_policy,
     )
     portal = GalaxyMorphologyPortal(
         clusters=list(clusters),
@@ -244,6 +283,9 @@ def build_demo_environment(
         compute_service=compute,
         meter=meter,
         event_log=events,
+        retry_policy=retry_policy,
+        archive_quorum=archive_quorum,
+        cutout_quorum=cutout_quorum,
     )
 
     if seed_virtual_data_reuse:
@@ -265,6 +307,8 @@ def build_demo_environment(
         compute_service=compute,
         portal=portal,
         resource_registry=resource_registry,
+        fault_injector=injector,
+        health=health,
     )
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro import telemetry
 from repro.catalog.crossmatch import crossmatch_positions
 from repro.core.errors import ServiceError
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.services.conesearch import ConeSearchService
 from repro.services.cutout import CutoutSIAService
 from repro.services.protocol import ConeSearchRequest, SIARequest
@@ -54,6 +55,16 @@ class PortalSession:
     polls: int = 0
     result_table: VOTable | None = None
     merged: VOTable | None = None
+    #: graceful-degradation ledger: archive name -> error text for every
+    #: archive that stayed down after retries (quorum mode only)
+    archive_errors: dict[str, str] = field(default_factory=dict)
+    #: galaxies dropped because their cutout reference never resolved
+    dropped_galaxies: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did this session lose any archive or galaxy along the way?"""
+        return bool(self.archive_errors or self.dropped_galaxies)
 
     @property
     def n_context_images(self) -> int:
@@ -76,6 +87,9 @@ class GalaxyMorphologyPortal:
         event_log: EventLog | None = None,
         match_tolerance_arcsec: float = 2.0,
         max_polls: int = 10_000,
+        retry_policy: RetryPolicy | None = None,
+        archive_quorum: int | None = None,
+        cutout_quorum: float = 1.0,
     ) -> None:
         self._clusters = {c.name: c for c in clusters}  # the internal catalog
         self.optical_archive = optical_archive
@@ -88,6 +102,36 @@ class GalaxyMorphologyPortal:
         self.events = event_log if event_log is not None else EventLog()
         self.match_tolerance_arcsec = match_tolerance_arcsec
         self.max_polls = max_polls
+        #: shared retry ladder around every VO service call; ``None``
+        #: preserves the seed behaviour (single attempt, no wrapper).
+        self.retry_policy = retry_policy
+        #: graceful degradation for the context-image search: minimum
+        #: number of image archives that must answer.  ``None`` (default)
+        #: keeps the seed all-or-nothing semantics; with a quorum, dead
+        #: archives are annotated instead of failing the session.
+        self.archive_quorum = archive_quorum
+        #: fraction of catalog galaxies whose cutouts must resolve
+        #: (1.0 = every galaxy, the seed behaviour).  Below the quorum the
+        #: session fails; above it, unresolvable galaxies are dropped and
+        #: annotated.
+        self.cutout_quorum = cutout_quorum
+
+    def _retried(self, label: str, fn):
+        """Run one service call under the shared retry policy.
+
+        Backoff delays are charged to the meter (``retry-backoff``): a
+        portal that waits out an archive hiccup pays for the waiting, so
+        campaign cost accounting under chaos reflects real wall cost.
+        """
+        if self.retry_policy is None:
+            return fn()
+
+        def on_backoff(attempt: int, delay: float, exc: BaseException) -> None:
+            telemetry.count("resilience_retries_total", target="portal")
+            if self.meter is not None:
+                self.meter.charge("retry-backoff", delay)
+
+        return retry_call(fn, self.retry_policy, label=label, on_backoff=on_backoff)
 
     # -- Figure 5, stage by stage ------------------------------------------------
     def list_clusters(self) -> list[str]:
@@ -106,12 +150,38 @@ class GalaxyMorphologyPortal:
         with telemetry.trace_span("portal.select_cluster", cluster=name) as span:
             field_size = 2.2 * cluster.tidal_radius_deg
             request = SIARequest(ra=cluster.center.ra, dec=cluster.center.dec, size=field_size)
-            for archive in [self.optical_archive, *self.xray_archives]:
-                table = archive.query(request)
+            archives = [self.optical_archive, *self.xray_archives]
+            answered = 0
+            for archive in archives:
+                archive_name = getattr(archive, "survey", type(archive).__name__)
+                try:
+                    table = self._retried(
+                        f"archive-query/{archive_name}/{name}",
+                        lambda a=archive: a.query(request),
+                    )
+                except ServiceError as exc:
+                    # Graceful degradation: with a quorum configured a dead
+                    # archive becomes an annotation, not a session failure.
+                    if self.archive_quorum is None:
+                        raise
+                    session.archive_errors[archive_name] = str(exc)
+                    telemetry.count("portal_archive_errors_total", archive=archive_name)
+                    self.events.emit(
+                        0.0, "portal", "archive-degraded",
+                        cluster=name, archive=archive_name, error=str(exc),
+                    )
+                    continue
+                answered += 1
                 for row in table:
                     session.context_image_links.append(row["url"])
                     session.context_image_bytes += int(row["size_bytes"])
-            span.set(images=session.n_context_images)
+            if self.archive_quorum is not None and answered < self.archive_quorum:
+                raise ServiceError(
+                    f"archive quorum not met for {name!r}: {answered}/{len(archives)} "
+                    f"archives answered, quorum is {self.archive_quorum} "
+                    f"(errors: {session.archive_errors})"
+                )
+            span.set(images=session.n_context_images, archives_answered=answered)
         self.events.emit(
             0.0, "portal", "context-images-found",
             cluster=name, images=session.n_context_images,
@@ -125,8 +195,14 @@ class GalaxyMorphologyPortal:
             cone = ConeSearchRequest(
                 ra=cluster.center.ra, dec=cluster.center.dec, sr=1.1 * cluster.tidal_radius_deg
             )
-            phot = self.photometry_service.search(cone)
-            spec = self.redshift_service.search(cone)
+            phot = self._retried(
+                f"cone/photometry/{cluster.name}",
+                lambda: self.photometry_service.search(cone),
+            )
+            spec = self._retried(
+                f"cone/redshift/{cluster.name}",
+                lambda: self.redshift_service.search(cone),
+            )
             pairs = crossmatch_positions(
                 phot["ra"], phot["dec"], spec["ra"], spec["dec"],
                 tolerance_arcsec=self.match_tolerance_arcsec,
@@ -174,16 +250,47 @@ class GalaxyMorphologyPortal:
             if batched:
                 tables = [self.cutout_service.query_batch(requests)] * len(requests)
             else:
-                tables = [self.cutout_service.query(request) for request in requests]
+                tables = [
+                    self._retried(
+                        f"cutout-query/{session.cluster.name}/{i}",
+                        lambda r=request: self.cutout_service.query(r),
+                    )
+                    for i, request in enumerate(requests)
+                ]
             urls: list[str] = []
             scales: list[float] = []
+            resolved_rows: list[dict] = []
             for row, table in zip(session.catalog, tables):
                 matches = [r for r in table if r["title"] == row["id"]]
                 if not matches:
-                    raise ServiceError(f"cutout service returned no image for {row['id']!r}")
+                    # Per-row quorum: below 1.0 an unresolvable galaxy is
+                    # dropped and annotated instead of failing the session.
+                    if self.cutout_quorum >= 1.0:
+                        raise ServiceError(
+                            f"cutout service returned no image for {row['id']!r}"
+                        )
+                    session.dropped_galaxies.append(row["id"])
+                    telemetry.count("portal_dropped_galaxies_total")
+                    continue
+                resolved_rows.append(row)
                 urls.append(matches[0]["url"])
                 scales.append(matches[0]["scale"])
-            span.set(resolved=len(urls))
+            total = len(session.catalog)
+            if total and len(resolved_rows) / total < self.cutout_quorum:
+                raise ServiceError(
+                    f"cutout quorum not met for {session.cluster.name!r}: "
+                    f"{len(resolved_rows)}/{total} galaxies resolved, quorum is "
+                    f"{self.cutout_quorum:.0%}"
+                )
+            catalog = session.catalog
+            if session.dropped_galaxies:
+                catalog = VOTable(
+                    catalog.fields, name=catalog.name, params=dict(catalog.params)
+                )
+                for row in resolved_rows:
+                    catalog.append(row)
+                session.catalog = catalog
+            span.set(resolved=len(urls), dropped=len(session.dropped_galaxies))
         with_urls = add_column(session.catalog, Field("cutout_url", "char", ucd="meta.ref.url"), urls)
         session.input_votable = add_column(
             with_urls, Field("cutout_scale", "double", unit="deg/pix"), scales
@@ -231,7 +338,17 @@ class GalaxyMorphologyPortal:
             raise ServiceError("submit_and_wait must run before merge_results")
         with telemetry.trace_span("portal.merge_results", cluster=session.cluster.name) as span:
             session.merged = inner_join(session.input_votable, session.result_table, on="id")
-            span.set(rows=len(session.merged))
+            # Degradation annotations ride the output VOTable as PARAMs so a
+            # consumer can tell a partial catalog from a complete one.  A
+            # clean (recovered) session adds nothing — its serialisation is
+            # byte-identical to a fault-free run.
+            for archive_name, error in sorted(session.archive_errors.items()):
+                session.merged.params[f"archive_error_{archive_name}"] = error
+            if session.dropped_galaxies:
+                session.merged.params["dropped_galaxies"] = ",".join(
+                    sorted(session.dropped_galaxies)
+                )
+            span.set(rows=len(session.merged), degraded=session.degraded)
         self.events.emit(0.0, "portal", "results-merged", rows=len(session.merged))
         return session.merged
 

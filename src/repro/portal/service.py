@@ -24,10 +24,16 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
-from repro.core.errors import ServiceError
+from repro.core.errors import (
+    MalformedResponseError,
+    ReproError,
+    ServiceError,
+    is_transient,
+)
 from repro.core.vds import VirtualDataSystem
 from repro.pegasus.planner import PlanResult
 from repro.condor.report import ExecutionReport
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.services.transport import CostMeter
 from repro.utils.events import EventLog
 from repro.utils.ids import new_request_id
@@ -130,9 +136,11 @@ class GalaxyMorphologyService:
         meter: CostMeter | None = None,
         status_board: StatusBoard | None = None,
         event_log: EventLog | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.vds = vds
         self.fetch_url = fetch_url
+        self.retry_policy = retry_policy
         self.cache_site = cache_site
         self.output_site = output_site if output_site is not None else (
             vds.planner_options.output_site or cache_site
@@ -181,9 +189,36 @@ class GalaxyMorphologyService:
         ) as span:
             try:
                 self._process(state, vot, resume_from=resume_from)
-            except Exception as exc:  # service must never propagate to the portal
-                self.status.post(request_id, "failed", str(exc))
-                self.events.emit(0.0, "service", "request-failed", error=str(exc))
+            except ReproError as exc:
+                # Typed failure taxonomy: transient faults (timeouts, flaky
+                # transports) are distinguishable from permanent ones so the
+                # caller can decide whether a resubmission is worthwhile.
+                category = "transient" if is_transient(exc) else "permanent"
+                telemetry.count(
+                    "service_request_errors_total",
+                    category=category,
+                    kind=type(exc).__name__,
+                )
+                self.status.post(
+                    request_id, "failed", f"{type(exc).__name__}: {exc}"
+                )
+                self.events.emit(
+                    0.0, "service", "request-failed",
+                    error=str(exc), category=category,
+                )
+            except Exception as exc:  # pragma: no cover - last-resort guard
+                # The boundary still never propagates: a truly unexpected
+                # error becomes a failed status, flagged as such.
+                telemetry.count(
+                    "service_request_errors_total",
+                    category="unexpected",
+                    kind=type(exc).__name__,
+                )
+                self.status.post(request_id, "failed", f"internal error: {exc}")
+                self.events.emit(
+                    0.0, "service", "request-failed",
+                    error=str(exc), category="unexpected",
+                )
             span.set(short_circuited=state.short_circuited)
         return status_url
 
@@ -273,15 +308,20 @@ class GalaxyMorphologyService:
             )
 
     def _collect_images(self, state: ServiceRequestStatus, vot: VOTable) -> None:
-        """Figure 6 step 3: download + cache + register each galaxy image."""
+        """Figure 6 step 3: download + cache + register each galaxy image.
+
+        The RLS short-circuit is *verified*: a mapped LFN whose replicas
+        have all vanished (stale catalog entries) is invalidated and the
+        image re-downloaded instead of poisoning the workflow's stage-in.
+        """
         cache = self.vds.sites[self.cache_site]
         with telemetry.trace_span("service.collect_images", cluster=state.cluster) as span:
             for galaxy_id, url in votable_to_url_list(vot):
                 image_lfn = f"{galaxy_id}.fit"
-                if self.vds.rls.exists(image_lfn):
+                if self.vds.rls.exists(image_lfn) and self._verify_cached(image_lfn):
                     state.images_cached += 1
                     continue  # already cached (or materialised elsewhere in the Grid)
-                content = self.fetch_url(url)
+                content = self._fetch_image(galaxy_id, url)
                 pfn = cache.pfn_for(image_lfn)
                 cache.put(pfn, content)
                 self.vds.rls.register(image_lfn, pfn, self.cache_site)
@@ -296,6 +336,62 @@ class GalaxyMorphologyService:
             0.0, "service", "images-collected",
             downloaded=state.images_downloaded, cached=state.images_cached,
         )
+
+    def _verify_cached(self, lfn: str) -> bool:
+        """True iff at least one replica of ``lfn`` is actually retrievable.
+
+        Replicas whose bytes have vanished are stale catalog entries; they
+        are invalidated (unregistered + counted) so later stage-ins never
+        see them.
+        """
+        stale = []
+        retrievable = False
+        for replica in self.vds.rls.lookup(lfn):
+            site = self.vds.sites.get(replica.site)
+            if site is not None and site.exists(replica.pfn):
+                retrievable = True
+            else:
+                stale.append(replica)
+        for replica in stale:
+            self.vds.rls.invalidate_stale(replica)
+        return retrievable
+
+    def _fetch_image(self, galaxy_id: str, url: str) -> bytes:
+        """Download one image with integrity verification (+ retry if configured).
+
+        A truncated or garbled payload raises
+        :class:`~repro.core.errors.MalformedResponseError` — a *transient*
+        error, so a configured retry policy re-requests it.
+        """
+
+        def attempt() -> bytes:
+            content = self.fetch_url(url)
+            self._verify_fits(galaxy_id, content)
+            return content
+
+        if self.retry_policy is None:
+            return attempt()
+
+        def on_backoff(attempt_no: int, delay: float, exc: BaseException) -> None:
+            telemetry.count("resilience_retries_total", target="service-fetch")
+            if self.meter is not None:
+                self.meter.charge("retry-backoff", delay)
+
+        return retry_call(
+            attempt,
+            self.retry_policy,
+            label=f"image-fetch/{galaxy_id}",
+            on_backoff=on_backoff,
+        )
+
+    @staticmethod
+    def _verify_fits(galaxy_id: str, content: bytes) -> None:
+        """FITS integrity check: magic word + 2880-byte block alignment."""
+        if not content.startswith(b"SIMPLE") or len(content) % 2880 != 0:
+            raise MalformedResponseError(
+                f"image for {galaxy_id!r} is not a valid FITS payload "
+                f"({len(content)} bytes)"
+            )
 
     def _define_vdl(self, state: ServiceRequestStatus, vot: VOTable) -> None:
         """Figure 6 step 4; TR text only on the first request ever."""

@@ -1,0 +1,43 @@
+"""``repro.resilience`` — the recovery half of the chaos story.
+
+The :mod:`repro.faults` package breaks things; this package is what
+makes the pipeline survive the breakage:
+
+* :mod:`repro.resilience.retry` — the shared retry policy (exponential
+  backoff + deterministic jitter + deadline) wrapped around every VO
+  service call, RLS lookup and GRAM submission.  Sim-clock aware: the
+  default configuration never sleeps for real, so the Condor simulator
+  stays deterministic and the test suite stays fast.
+* :mod:`repro.resilience.breaker` — per-site circuit breakers
+  (closed/open/half-open) aggregated by a :class:`SiteHealthTracker`
+  that feeds the planning layer: unhealthy sites are blacklisted by
+  ``HealthAwareSiteSelector`` at mapping time so replans route around
+  outages instead of rediscovering them.
+
+Everything here is dependency-injected and zero-cost by default: no
+retry policy ⇒ single attempt with no wrapper frames on the hot path,
+no health tracker ⇒ planner behaviour is byte-identical to the seed.
+See ``docs/resilience.md`` for the taxonomy and the backoff math.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    SiteHealthTracker,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    retry_call,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "SiteHealthTracker",
+    "retry_call",
+]

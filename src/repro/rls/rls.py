@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import telemetry
+from repro.core.errors import ServiceTimeoutError
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from repro.utils.events import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -69,12 +75,45 @@ class ReplicaLocationService:
     exchange actually happening.
     """
 
-    def __init__(self, event_log: EventLog | None = None) -> None:
+    def __init__(
+        self,
+        event_log: EventLog | None = None,
+        faults: "FaultInjector | None" = None,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+    ) -> None:
         self._catalogs: dict[str, LocalReplicaCatalog] = {}
         self._index: dict[str, set[str]] = {}  # lfn -> site names (the RLI)
         self._lock = threading.Lock()
         self.events = event_log if event_log is not None else EventLog()
         self.query_count = 0
+        self.faults = faults
+        self.retry_policy = retry_policy
+
+    # -- fault plumbing ------------------------------------------------------
+    def _guard(self) -> None:
+        """Raise an injected lookup timeout (fault plans only)."""
+        if self.faults.rls_lookup_times_out():
+            raise ServiceTimeoutError("RLS: injected lookup timeout")
+
+    def _with_retry(self, fn, label: str):
+        """Run an index query under the shared retry policy.
+
+        Only reached when a fault plan is installed — the fault-free path
+        never pays for the wrapper.  Injected timeouts consume retry
+        attempts; bounded profiles therefore always recover, unbounded
+        ones propagate :class:`ServiceTimeoutError` to the planner.
+        """
+
+        def attempt():
+            self._guard()
+            return fn()
+
+        def on_backoff(n: int, delay: float, exc: BaseException) -> None:
+            telemetry.count("resilience_retries_total", target="rls")
+
+        return retry_call(
+            attempt, self.retry_policy, label=label, on_backoff=on_backoff
+        )
 
     # -- site management -------------------------------------------------------
     def add_site(self, site: str) -> LocalReplicaCatalog:
@@ -117,6 +156,11 @@ class ReplicaLocationService:
 
     def lookup(self, lfn: str) -> list[Replica]:
         """All replicas of ``lfn``, across all sites (index-directed)."""
+        if self.faults is not None:
+            return self._with_retry(lambda: self._lookup_impl(lfn), f"rls/{lfn}")
+        return self._lookup_impl(lfn)
+
+    def _lookup_impl(self, lfn: str) -> list[Replica]:
         with self._lock:
             self.query_count += 1
             sites = sorted(self._index.get(lfn, ()))
@@ -130,6 +174,11 @@ class ReplicaLocationService:
         return replicas
 
     def exists(self, lfn: str) -> bool:
+        if self.faults is not None:
+            return self._with_retry(lambda: self._exists_impl(lfn), f"rls-exists/{lfn}")
+        return self._exists_impl(lfn)
+
+    def _exists_impl(self, lfn: str) -> bool:
         with self._lock:
             self.query_count += 1
             found = lfn in self._index
@@ -139,6 +188,28 @@ class ReplicaLocationService:
     def lookup_many(self, lfns: list[str]) -> dict[str, list[Replica]]:
         """Bulk query, as the planner issues for a whole workflow at once."""
         return {lfn: self.lookup(lfn) for lfn in lfns}
+
+    def invalidate_stale(self, replica: Replica) -> None:
+        """Drop a mapping whose PFN turned out not to exist.
+
+        The replica-failover paths (portal image collection, executor
+        stage-in) call this when verification of a catalog entry fails:
+        the stale mapping is removed so no later plan trips over it, and
+        the invalidation is counted for the chaos report.
+        """
+        try:
+            self.unregister(replica.lfn, replica.site, replica.pfn)
+        except KeyError:
+            return  # already gone — another worker invalidated it first
+        telemetry.count("rls_stale_invalidations_total", site=replica.site)
+        self.events.emit(
+            0.0,
+            "rls",
+            "stale-replica-invalidated",
+            lfn=replica.lfn,
+            site=replica.site,
+            pfn=replica.pfn,
+        )
 
     def __len__(self) -> int:
         with self._lock:

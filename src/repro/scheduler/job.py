@@ -109,6 +109,9 @@ class JobRecord:
     resumed_nodes: int = 0
     result_lfn: str = ""
     error: str = ""
+    #: earliest monotonic clock value at which a requeued job may be
+    #: re-dispatched (transient-failure backoff); ``None`` = immediately.
+    not_before: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     # -- timing -----------------------------------------------------------------

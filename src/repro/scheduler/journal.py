@@ -28,7 +28,7 @@ from repro.core.errors import SchedulerError
 from repro.scheduler.job import JobRecord, JobState
 
 #: Event vocabulary (anything else in a journal is rejected at replay).
-EVENTS = ("submit", "start", "complete", "fail", "cancel", "rescue")
+EVENTS = ("submit", "start", "complete", "fail", "cancel", "rescue", "requeue")
 
 
 class JobJournal:
@@ -128,12 +128,18 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
             record.state = JobState.QUEUED
             state.jobs[record.job_id] = record
             state.max_seq = max(state.max_seq, record.seq)
-        elif event in ("start", "complete", "fail", "cancel"):
+        elif event in ("start", "complete", "fail", "cancel", "requeue"):
             job_id = line["job_id"]
             record = state.jobs.get(job_id)
             if record is None:
                 raise SchedulerError(f"journal {event!r} for unknown job {job_id!r}")
-            if event == "start":
+            if event == "requeue":
+                # Transient failure sent the job back to the queue; backoff
+                # gates are process-local monotonic time and do not replay.
+                record.state = JobState.QUEUED
+                record.started_at = None
+                record.finished_at = None
+            elif event == "start":
                 record.state = JobState.RUNNING
                 record.started_at = line.get("started_at", line["ts"])
                 record.attempts += 1

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.condor.rescue import portable_completed_nodes
-from repro.core.errors import ReproError, SchedulerError
+from repro.core.errors import ReproError, SchedulerError, is_transient
 from repro.scheduler.job import JobSpec
 from repro.votable.writer import write_votable
 
@@ -32,17 +32,25 @@ class JobOutcome:
 
 
 class JobFailure(SchedulerError):
-    """A job's Grid run failed; carries resume state for the resubmission."""
+    """A job's Grid run failed; carries resume state for the resubmission.
+
+    ``transient=True`` marks failures rooted in transient faults (service
+    timeouts, flaky transfers, site outages a breaker will route around):
+    the workload manager may automatically requeue such a job with backoff
+    instead of declaring it FAILED.
+    """
 
     def __init__(
         self,
         message: str,
         rescue_nodes: frozenset[str] = frozenset(),
         resumed_nodes: int = 0,
+        transient: bool = False,
     ) -> None:
         super().__init__(message)
         self.rescue_nodes = frozenset(rescue_nodes)
         self.resumed_nodes = resumed_nodes
+        self.transient = transient
 
 
 class JobRunner(Protocol):
@@ -77,10 +85,14 @@ class PortalJobRunner:
             portal.submit_and_wait(session, resume_from=resume_from)
         except ReproError as exc:
             rescue, resumed = self._rescue_state(session, resume_from)
+            # A failure is worth an automatic resubmission when the root
+            # cause is typed transient, or when the run banked progress a
+            # resume can skip (a replan may route around the sick site).
             raise JobFailure(
                 f"cluster {spec.cluster!r}: {exc}",
                 rescue_nodes=rescue,
                 resumed_nodes=resumed,
+                transient=is_transient(exc) or bool(rescue),
             ) from exc
         portal.merge_results(session)
         assert session.merged is not None

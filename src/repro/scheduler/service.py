@@ -41,6 +41,7 @@ from repro.scheduler.journal import JobJournal
 from repro.scheduler.leases import SlotLeaseManager
 from repro.scheduler.policy import AdmissionPolicy, FairShareScheduler
 from repro.scheduler.runner import JobFailure, JobOutcome, JobRunner, PortalJobRunner
+from repro.resilience.retry import RetryPolicy
 
 
 class WorkloadManager:
@@ -59,11 +60,17 @@ class WorkloadManager:
         cache: RlsResultCache | None = None,
         journal: JobJournal | None = None,
         clock: Callable[[], float] = time.monotonic,
+        requeue_policy: RetryPolicy | None = None,
     ) -> None:
         if slots_per_job < 1:
             raise ValueError(f"slots_per_job must be positive, got {slots_per_job}")
         self.runner = runner
         self.slots_per_job = slots_per_job
+        #: transient-failure requeue: when set, a job whose run raised a
+        #: transient :class:`JobFailure` goes back to the queue (with the
+        #: policy's exponential backoff as a not-before gate and its rescue
+        #: nodes banked) until ``requeue_policy.max_attempts`` is exhausted.
+        self.requeue_policy = requeue_policy
         self.admission = admission if admission is not None else AdmissionPolicy()
         self.scheduler = scheduler if scheduler is not None else FairShareScheduler()
         self.cache = cache
@@ -324,10 +331,13 @@ class WorkloadManager:
         """May this queued job be dispatched right now?
 
         Identical in-flight derivations are held back (they will be answered
-        by the cache the moment the first one lands), and the tenant must be
-        able to lease slots under their cap.
+        by the cache the moment the first one lands), requeued jobs respect
+        their backoff gate, and the tenant must be able to lease slots under
+        their cap.
         """
         if record.signature in self._inflight:
+            return False
+        if record.not_before is not None and self._clock() < record.not_before:
             return False
         return self.leases.can_acquire(record.spec.user, self.slots_per_job)
 
@@ -407,6 +417,8 @@ class WorkloadManager:
                 record.finished_at = now
                 if outcome is not None:
                     record.state = JobState.COMPLETED
+                    record.not_before = None
+                    record.error = ""  # clear any requeued attempt's failure
                     record.cache_hit = cache_hit
                     record.resumed_nodes = outcome.resumed_nodes
                     self._results[record.job_id] = outcome.result_bytes
@@ -440,7 +452,6 @@ class WorkloadManager:
                     telemetry.count("scheduler_jobs_total", state="completed")
                 else:
                     assert failure is not None
-                    record.state = JobState.FAILED
                     record.error = str(failure)
                     if isinstance(failure, JobFailure):
                         record.resumed_nodes = failure.resumed_nodes
@@ -454,12 +465,40 @@ class WorkloadManager:
                                 signature=record.signature,
                                 nodes=sorted(merged),
                             )
+                    # Fair share is charged per attempt, requeued or not.
                     cost = (record.run_seconds or 0.0) * lease.slots
                     self.scheduler.charge(record.spec.user, cost)
-                    self.journal.append(
-                        "fail", job_id=record.job_id, error=record.error
-                    )
-                    telemetry.count("scheduler_jobs_total", state="failed")
+                    if (
+                        self.requeue_policy is not None
+                        and isinstance(failure, JobFailure)
+                        and failure.transient
+                        and record.attempts < self.requeue_policy.max_attempts
+                    ):
+                        # Transient failure: back to the queue with backoff;
+                        # the banked rescue nodes make the retry a resume.
+                        delay = self.requeue_policy.delay_for(
+                            record.attempts, label=record.job_id
+                        )
+                        record.state = JobState.QUEUED
+                        record.started_at = None
+                        record.finished_at = None
+                        record.not_before = now + delay
+                        self._queue.append(record.job_id)
+                        self.journal.append(
+                            "requeue",
+                            job_id=record.job_id,
+                            attempt=record.attempts,
+                            delay=delay,
+                        )
+                        telemetry.count(
+                            "scheduler_requeues_total", user=record.spec.user
+                        )
+                    else:
+                        record.state = JobState.FAILED
+                        self.journal.append(
+                            "fail", job_id=record.job_id, error=record.error
+                        )
+                        telemetry.count("scheduler_jobs_total", state="failed")
             finally:
                 # Queue accounting must survive any journaling/caching error,
                 # or the dispatcher would believe the slots are still leased.

@@ -9,14 +9,18 @@ both and join them by position — the integration step §4.2 describes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro import telemetry
 from repro.catalog.coords import cone_contains
+from repro.services.faulting import pre_call_fault, truncate_table
 from repro.services.protocol import ConeSearchRequest
 from repro.services.transport import CostMeter, TransportModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.sky.cluster import ClusterModel, GalaxyRecord
 from repro.utils.rng import derive_rng
 from repro.votable.model import Field, VOTable
@@ -30,10 +34,12 @@ class ConeSearchService(ABC):
         clusters: Sequence[ClusterModel],
         meter: CostMeter | None = None,
         transport: TransportModel | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.clusters = list(clusters)
         self.meter = meter
         self.transport = transport if transport is not None else TransportModel()
+        self.faults = faults
         self._members: list[tuple[ClusterModel, GalaxyRecord]] | None = None
 
     def _all_members(self) -> list[tuple[ClusterModel, GalaxyRecord]]:
@@ -48,7 +54,18 @@ class ConeSearchService(ABC):
     def search(self, request: ConeSearchRequest) -> VOTable:
         """Run the cone selection and charge the query to the meter."""
         with telemetry.trace_span("service.cone_search", service=type(self).__name__) as span:
+            action = "ok"
+            if self.faults is not None:
+                action = pre_call_fault(
+                    self.faults,
+                    "cone-query",
+                    meter=self.meter,
+                    transport=self.transport,
+                    category="cone-query",
+                )
             table = self._search_impl(request)
+            if action in ("malformed", "partial"):
+                table = truncate_table("cone-query", table, action)
             span.set(records=len(table))
         telemetry.count(
             "service_requests_total", kind="cone-search", service=type(self).__name__

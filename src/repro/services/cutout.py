@@ -11,7 +11,7 @@ renders the FITS cutout on demand.
 from __future__ import annotations
 
 import urllib.parse
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -19,9 +19,13 @@ from repro import telemetry
 from repro.catalog.coords import angular_separation_deg
 from repro.core.errors import ServiceError
 from repro.fits.io import write_fits_bytes
+from repro.services.faulting import mangle_payload, pre_call_fault, truncate_table
 from repro.services.protocol import SIARequest
 from repro.services.sia import SIA_FIELDS
 from repro.services.transport import CostMeter, TransportModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.sky.cluster import ClusterModel
 from repro.sky.imaging import PIXEL_SCALE_ARCSEC, CutoutFactory
 from repro.votable.model import VOTable
@@ -37,11 +41,13 @@ class CutoutSIAService:
         meter: CostMeter | None = None,
         transport: TransportModel | None = None,
         default_band: str = "r",
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.clusters = {c.name: c for c in clusters}
         self.cutout_size = cutout_size
         self.meter = meter
         self.transport = transport if transport is not None else TransportModel()
+        self.faults = faults
         self.default_band = default_band
         self.base_url = "http://cutout.synth/sia"
         self._factories: dict[tuple[str, str], CutoutFactory] = {}
@@ -98,11 +104,22 @@ class CutoutSIAService:
         the campaign measures.
         """
         with telemetry.trace_span("service.cutout_query") as span:
+            action = "ok"
+            if self.faults is not None:
+                action = pre_call_fault(
+                    self.faults,
+                    "cutout-query",
+                    meter=self.meter,
+                    transport=self.transport,
+                    category="sia-query",
+                )
             table = VOTable(SIA_FIELDS, name="cutouts")
             for row in self._query_rows(request):
                 table.append(row)
             if self.meter is not None:
                 self.meter.charge("sia-query", self.transport.sia_query.time(256 * len(table)))
+            if action in ("malformed", "partial"):
+                table = truncate_table("cutout-query", table, action)
             span.set(records=len(table))
         telemetry.count("service_requests_total", kind="cutout-query")
         return table
@@ -110,7 +127,18 @@ class CutoutSIAService:
     def fetch(self, url: str) -> bytes:
         """Render and download one cutout (one HTTP GET per galaxy)."""
         with telemetry.trace_span("service.cutout_fetch") as span:
+            action = "ok"
+            if self.faults is not None:
+                action = pre_call_fault(
+                    self.faults,
+                    "cutout-fetch",
+                    meter=self.meter,
+                    transport=self.transport,
+                    category="sia-download",
+                )
             payload = self._fetch_impl(url)
+            if action in ("malformed", "partial"):
+                payload = mangle_payload("cutout-fetch", payload)
             span.set(bytes=len(payload))
         telemetry.count("service_requests_total", kind="cutout-fetch")
         return payload

@@ -1,0 +1,112 @@
+"""Fault application shared by every VO service client.
+
+Each synthetic service accepts an optional
+:class:`~repro.faults.plan.FaultInjector` at construction.  When present,
+the service consults it *before* serving a call (``pre_call_fault``: may
+raise a typed error) and *after* rendering a payload (``mangle_payload`` /
+``truncate_table``: corruption that must be detected by the caller, the
+way a truncated HTTP body is).
+
+Cost semantics (the "failed attempts cost money" satellite):
+
+* a **timeout** charges the *full* transport timeout — waiting for
+  nothing is the most expensive way a call can fail;
+* a transient **error** charges one request latency — the server
+  answered, just unhelpfully;
+* **malformed** payloads charge the full transfer (the bytes moved, they
+  were just damaged in flight);
+* every retried attempt then re-charges as a fresh call, so a campaign
+  under chaos reports the real virtual wall cost of its recovery.
+
+Every injected fault also increments ``faults_injected_total`` with
+``stream``/``action`` labels through the telemetry registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import telemetry
+from repro.core.errors import (
+    PermanentServiceError,
+    ServiceTimeoutError,
+    TransientServiceError,
+)
+from repro.services.transport import CostMeter, TransportModel
+from repro.votable.model import VOTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.faults.plan import FaultInjector
+
+#: Fraction of a payload/table that survives a "malformed"/"partial" fault.
+DAMAGE_KEEP_FRACTION = 0.6
+
+
+def pre_call_fault(
+    faults: "FaultInjector",
+    stream: str,
+    *,
+    meter: CostMeter | None,
+    transport: TransportModel,
+    category: str,
+) -> str:
+    """Decide the fate of the next call on ``stream``.
+
+    Raises the typed error for ``timeout``/``error`` fates (charging the
+    meter first); returns the action string otherwise so the caller can
+    apply payload damage after rendering (``malformed``/``partial``) or
+    proceed normally (``ok``).
+    """
+    action = faults.service_action(stream)
+    if action == "ok":
+        return action
+    telemetry.count("faults_injected_total", stream=stream, action=action)
+    permanent = faults.service_fault_is_permanent(stream)
+    if action == "timeout":
+        if meter is not None:
+            meter.charge(category, transport.timeout_s)
+        if permanent:
+            raise PermanentServiceError(f"{stream}: injected permanent timeout")
+        raise ServiceTimeoutError(
+            f"{stream}: injected timeout after {transport.timeout_s:.1f}s"
+        )
+    if action == "error":
+        if meter is not None:
+            meter.charge(category, transport.sia_query.request_latency_s)
+        if permanent:
+            raise PermanentServiceError(f"{stream}: injected permanent server error")
+        raise TransientServiceError(f"{stream}: injected transient server error")
+    # "malformed" / "partial" are applied to the rendered payload by the
+    # caller; the render itself (and its charge) still happens.
+    return action
+
+
+def mangle_payload(stream: str, payload: bytes) -> bytes:
+    """Truncate a binary payload the way a dropped connection would.
+
+    The fault was already counted by :func:`pre_call_fault` when the
+    injector decided this call's fate; this helper only applies it.
+    """
+    keep = max(1, int(len(payload) * DAMAGE_KEEP_FRACTION))
+    return payload[:keep]
+
+
+def truncate_table(stream: str, table: VOTable, action: str) -> VOTable:
+    """Return a deterministically truncated copy of ``table``.
+
+    Models a partial archive response: the prefix of the row set with a
+    ``fault_partial`` PARAM annotation so downstream consumers (and the
+    chaos report) can tell the table is incomplete.  (Counted by
+    :func:`pre_call_fault` at decision time, not here.)
+    """
+    keep = max(1, int(len(table) * DAMAGE_KEEP_FRACTION)) if len(table) else 0
+    params = dict(table.params)
+    params["fault_partial"] = f"{keep}/{len(table)}"
+    out = VOTable(
+        table.fields, name=table.name, description=table.description, params=params
+    )
+    for i, row in enumerate(table):
+        if i >= keep:
+            break
+        out.append(row)
+    return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import urllib.parse
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -22,8 +22,12 @@ from repro.fits.header import Header
 from repro.fits.io import write_fits_bytes
 from repro.fits.wcs import TanWCS
 from repro.catalog.coords import angular_separation_deg
+from repro.services.faulting import mangle_payload, pre_call_fault, truncate_table
 from repro.services.protocol import SIARequest
 from repro.services.transport import CostMeter, TransportModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.sky.cluster import ClusterModel
 from repro.sky.xray import beta_model
 from repro.utils.rng import derive_rng
@@ -56,12 +60,18 @@ class SIAService(ABC):
     #: archive identifier used in URLs and FITS headers
     survey: str = "SYNTH"
 
+    #: fault-stream prefix: queries draw from ``{prefix}-query``, fetches
+    #: from ``{prefix}-fetch``.  X-ray archives override this so a chaos
+    #: profile can take them down independently of the optical survey.
+    fault_stream: str = "sia"
+
     def __init__(
         self,
         clusters: Sequence[ClusterModel],
         tiles_per_cluster: dict[str, int] | int = 8,
         meter: CostMeter | None = None,
         transport: TransportModel | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.clusters = {c.name: c for c in clusters}
         if isinstance(tiles_per_cluster, int):
@@ -70,6 +80,7 @@ class SIAService(ABC):
             self.tiles_per_cluster = dict(tiles_per_cluster)
         self.meter = meter
         self.transport = transport if transport is not None else TransportModel()
+        self.faults = faults
         self.base_url = f"http://{self.survey.lower()}.synth/sia"
         self._tile_bytes = _tile_fits_bytes()
 
@@ -118,7 +129,19 @@ class SIAService(ABC):
     def query(self, request: SIARequest) -> VOTable:
         """All tiles whose centre lies within the requested box (+margin)."""
         with telemetry.trace_span("service.sia_query", survey=self.survey) as span:
+            action = "ok"
+            if self.faults is not None:
+                stream = f"{self.fault_stream}-query"
+                action = pre_call_fault(
+                    self.faults,
+                    stream,
+                    meter=self.meter,
+                    transport=self.transport,
+                    category="sia-query",
+                )
             table = self._query_impl(request)
+            if action in ("malformed", "partial"):
+                table = truncate_table(f"{self.fault_stream}-query", table, action)
             span.set(records=len(table))
         telemetry.count("service_requests_total", kind="sia-query", survey=self.survey)
         return table
@@ -152,7 +175,19 @@ class SIAService(ABC):
     def fetch(self, url: str) -> bytes:
         """Download one image by its access URL (one HTTP GET per image)."""
         with telemetry.trace_span("service.sia_fetch", survey=self.survey) as span:
+            action = "ok"
+            if self.faults is not None:
+                stream = f"{self.fault_stream}-fetch"
+                action = pre_call_fault(
+                    self.faults,
+                    stream,
+                    meter=self.meter,
+                    transport=self.transport,
+                    category="sia-download",
+                )
             payload = self._fetch_impl(url)
+            if action in ("malformed", "partial"):
+                payload = mangle_payload(f"{self.fault_stream}-fetch", payload)
             span.set(bytes=len(payload))
         telemetry.count("service_requests_total", kind="sia-fetch", survey=self.survey)
         return payload
@@ -215,6 +250,7 @@ class XrayImageArchive(SIAService):
     """ROSAT/Chandra-like X-ray survey: beta-model gas emission tiles."""
 
     survey = "SYNTH-ROSAT"
+    fault_stream = "xray"
 
     def __init__(self, *args, survey: str = "SYNTH-ROSAT", **kwargs) -> None:
         self.survey = survey

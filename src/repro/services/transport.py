@@ -48,6 +48,11 @@ class TransportModel:
     sia_query: ProtocolCost = ProtocolCost(request_latency_s=0.8, bandwidth_bps=256 * KB)
     sia_download: ProtocolCost = ProtocolCost(request_latency_s=0.5, bandwidth_bps=512 * KB)
     gridftp: ProtocolCost = ProtocolCost(request_latency_s=0.05, bandwidth_bps=10 * MB)
+    #: Transport-level timeout.  A call that times out is charged this
+    #: *full* duration on the meter — waiting for nothing is the most
+    #: expensive way a call can fail, and benchmarks under chaos must
+    #: reflect that real wall cost.
+    timeout_s: float = 10.0
 
     def batched_query_time(self, n_items: int, nbytes_total: int) -> float:
         """The hypothetical batch interface of §4.2 ("This could be sped up

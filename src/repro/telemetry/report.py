@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracing import SpanRecord
 
 __all__ = [
@@ -30,7 +31,25 @@ __all__ = [
     "slowest_spans",
     "summarize",
     "render_report",
+    "render_resilience_summary",
 ]
+
+#: Metric families the resilience summary renders, in display order.
+RESILIENCE_METRICS = (
+    "faults_injected_total",
+    "resilience_retries_total",
+    "resilience_site_failures_total",
+    "resilience_breaker_transitions_total",
+    "resilience_breaker_open",
+    "resilience_sites_blacklisted_total",
+    "resilience_blacklist_fallbacks_total",
+    "resilience_replica_failovers_total",
+    "rls_stale_invalidations_total",
+    "scheduler_requeues_total",
+    "portal_archive_errors_total",
+    "portal_dropped_galaxies_total",
+    "service_request_errors_total",
+)
 
 #: Span name the Condor executors use for per-DAG-node spans.
 NODE_SPAN = "condor.node"
@@ -271,3 +290,31 @@ def render_report(spans: Sequence[SpanRecord], top: int = 5, width: int = 40) ->
             f"{str(attrs.get('site', '-')):<12s} {_fmt_dur(float(rec.get('dur', 0.0)))}"
         )
     return "\n".join(out) + "\n"
+
+
+def render_resilience_summary(registry: MetricsRegistry) -> str:
+    """The chaos/resilience view of a run's metrics registry.
+
+    Renders every :data:`RESILIENCE_METRICS` family that collected at
+    least one sample — injected faults, retry ladders, breaker
+    transitions, replica failovers, stale invalidations, scheduler
+    requeues, portal degradation.  Returns ``""`` when none did (a
+    fault-free run), so callers can append it conditionally.
+    """
+    lines: list[str] = []
+    for name in RESILIENCE_METRICS:
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        samples = metric.samples()  # type: ignore[union-attr]
+        if not samples:
+            continue
+        total = sum(value for _, value in samples)
+        lines.append(f"  {name:<44s} {total:g}")
+        labelled = [(key, value) for key, value in samples if key]
+        for key, value in labelled:
+            label = ",".join(f"{k}={v}" for k, v in key)
+            lines.append(f"      {label:<40s} {value:g}")
+    if not lines:
+        return ""
+    return "== resilience ==\n" + "\n".join(lines) + "\n"

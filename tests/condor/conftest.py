@@ -1,0 +1,17 @@
+"""Condor test fixtures: enabled telemetry with guaranteed teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    """Fresh tracer + registry for one test; always disabled afterwards."""
+    telemetry.enable()
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()

@@ -123,3 +123,51 @@ class TestLocalExecutorFailures:
         assert not report.succeeded
         assert report.failed_nodes == ("j0",)
         assert report.unrunnable_nodes == ("j1",)
+
+
+class TestCascadingRescue:
+    """Two sequential failures: the second rescue bank must supersede the
+    first, and a resume from it must converge on the golden output."""
+
+    def build(self):
+        site = StorageSite("isi")
+        rls = ReplicaLocationService()
+        rls.add_site("isi")
+        registry = ExecutableRegistry()
+        registry.register(
+            "galMorph", lambda job, inputs: {job.outputs[0]: f"row:{job.job_id}".encode()}
+        )
+        return LocalExecutor({"isi": site}, registry, rls, max_retries=0), site
+
+    def golden(self, n=4) -> dict[str, bytes]:
+        executor, site = self.build()
+        report = executor.execute(workflow(n))
+        assert report.succeeded
+        return dict(site._content)  # noqa: SLF001 - test introspection
+
+    def test_second_rescue_bank_resumes_to_golden_output(self):
+        from repro.condor.rescue import completed_nodes
+
+        golden = self.golden(4)
+        executor, site = self.build()
+
+        # First crash: j2 dies, bank holds {j0, j1}.
+        first = executor.execute(workflow(4), forced_failures={"j2": 99})
+        assert not first.succeeded
+        bank1 = completed_nodes(first)
+        assert bank1 == {"j0", "j1"}
+
+        # Second crash on the same workflow: resume from bank1, j3 dies.
+        # The new bank includes everything bank1 had *plus* j2.
+        second = executor.execute(
+            workflow(4), completed=bank1, forced_failures={"j3": 99}
+        )
+        assert not second.succeeded
+        bank2 = completed_nodes(second) | bank1
+        assert bank2 == {"j0", "j1", "j2"}
+
+        # Third run resumes from the cascaded bank and only runs j3.
+        final = executor.execute(workflow(4), completed=bank2)
+        assert final.succeeded
+        assert {r.node_id for r in final.runs} == {"j3"}
+        assert dict(site._content) == golden  # noqa: SLF001

@@ -1,0 +1,41 @@
+"""Tests for the ``repro chaos`` CLI verb and its exit-code contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestChaosCli:
+    def test_unknown_profile_exits_2(self, capsys):
+        assert main(["chaos", "--profile", "nope", "--cluster", "A3526"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault profile" in err
+        assert "recoverable" in err  # lists the valid names
+
+    @pytest.mark.slow
+    def test_recoverable_campaign_exits_0_with_json(self, capsys):
+        code = main(["chaos", "--cluster", "A3526", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["recovered"] is True
+        assert payload["profile"] == "recoverable"
+        assert payload["clusters"][0]["identical"] is True
+
+    @pytest.mark.slow
+    def test_recoverable_campaign_summary_reports_invariant(self, capsys):
+        code = main(["chaos", "--cluster", "A3526"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery invariant: HELD" in out
+
+    @pytest.mark.slow
+    def test_degraded_campaign_exits_1(self, capsys):
+        code = main(["chaos", "--profile", "degraded-archives", "--cluster", "A3526"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "degradation hygiene" in out

@@ -1,0 +1,102 @@
+"""Tests for fault application at the VO service boundary.
+
+Exercises the shared ``pre_call_fault``/``mangle_payload``/``truncate_table``
+helpers through a real cone-search service, including the cost semantics of
+the "failed attempts cost money" contract: a timeout charges the full
+transport timeout, a transient error one request latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    PermanentServiceError,
+    ServiceTimeoutError,
+    TransientServiceError,
+)
+from repro.faults.plan import FaultPlan, ServiceFaultSpec
+from repro.services.conesearch import SyntheticPhotometryCatalog
+from repro.services.faulting import DAMAGE_KEEP_FRACTION, mangle_payload
+from repro.services.protocol import ConeSearchRequest
+from repro.services.transport import CostMeter, TransportModel
+
+
+@pytest.fixture()
+def request_for(small_cluster):
+    return ConeSearchRequest(
+        ra=small_cluster.center.ra,
+        dec=small_cluster.center.dec,
+        sr=1.1 * small_cluster.tidal_radius_deg,
+    )
+
+
+def service(small_cluster, plan: FaultPlan, meter: CostMeter | None = None):
+    return SyntheticPhotometryCatalog(
+        [small_cluster], meter=meter, faults=plan.injector()
+    )
+
+
+class TestInjectedServiceFaults:
+    def test_timeout_charges_full_transport_timeout(self, small_cluster, request_for):
+        plan = FaultPlan(
+            services={"cone-query": ServiceFaultSpec(timeout_rate=1.0, max_faults=1)}
+        )
+        meter = CostMeter()
+        svc = service(small_cluster, plan, meter)
+        with pytest.raises(ServiceTimeoutError):
+            svc.search(request_for)
+        # Waiting for nothing costs the whole timeout window.
+        assert meter.total("cone-query") == pytest.approx(TransportModel().timeout_s)
+        # The fault budget is spent: the retry succeeds and charges normally.
+        table = svc.search(request_for)
+        assert len(table) == small_cluster.n_galaxies
+
+    def test_transient_error_charges_one_request_latency(
+        self, small_cluster, request_for
+    ):
+        plan = FaultPlan(
+            services={"cone-query": ServiceFaultSpec(error_rate=1.0, max_faults=1)}
+        )
+        meter = CostMeter()
+        svc = service(small_cluster, plan, meter)
+        with pytest.raises(TransientServiceError):
+            svc.search(request_for)
+        assert meter.total("cone-query") == pytest.approx(
+            TransportModel().sia_query.request_latency_s
+        )
+
+    def test_permanent_spec_raises_permanent_error(self, small_cluster, request_for):
+        plan = FaultPlan(
+            services={
+                "cone-query": ServiceFaultSpec(error_rate=1.0, permanent=True)
+            }
+        )
+        with pytest.raises(PermanentServiceError):
+            service(small_cluster, plan).search(request_for)
+
+    def test_partial_response_truncated_and_annotated(self, small_cluster, request_for):
+        plan = FaultPlan(
+            services={"cone-query": ServiceFaultSpec(partial_rate=1.0, max_faults=1)}
+        )
+        table = service(small_cluster, plan).search(request_for)
+        full = small_cluster.n_galaxies
+        assert len(table) == max(1, int(full * DAMAGE_KEEP_FRACTION))
+        assert table.params["fault_partial"] == f"{len(table)}/{full}"
+
+    def test_fault_free_service_untouched(self, small_cluster, request_for):
+        table = service(small_cluster, FaultPlan()).search(request_for)
+        assert len(table) == small_cluster.n_galaxies
+        assert "fault_partial" not in table.params
+
+
+class TestMangledPayloads:
+    def test_truncation_breaks_fits_block_alignment(self):
+        payload = b"SIMPLE" + b"\0" * (2880 * 4 - 6)
+        assert len(payload) % 2880 == 0
+        damaged = mangle_payload("cutout-fetch", payload)
+        assert 0 < len(damaged) < len(payload)
+        assert len(damaged) % 2880 != 0  # the detector the portal relies on
+
+    def test_tiny_payload_keeps_at_least_one_byte(self):
+        assert mangle_payload("cutout-fetch", b"x") == b"x"

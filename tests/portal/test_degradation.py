@@ -1,0 +1,124 @@
+"""Tests for graceful portal degradation: archive and cutout quorums.
+
+The seed portal was all-or-nothing: one dead archive failed the whole
+session.  With a quorum configured, dead archives become annotations and
+unresolvable galaxies are dropped (and annotated) instead — but only down
+to the quorum, below which the session still fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.coords import SkyPosition
+from repro.core.errors import ServiceError
+from repro.faults.plan import FaultPlan, ServiceFaultSpec
+from repro.portal.demo import build_demo_environment
+from repro.sky.cluster import ClusterModel
+
+
+def tiny(name: str = "T01", n: int = 6) -> ClusterModel:
+    return ClusterModel(
+        name=name,
+        center=SkyPosition(25.0, 3.0),
+        redshift=0.04,
+        n_galaxies=n,
+        seed=13,
+        context_image_count=5,
+    )
+
+
+XRAY_DOWN = FaultPlan(
+    services={"xray-query": ServiceFaultSpec(error_rate=1.0, permanent=True)},
+    recoverable=False,
+)
+
+
+class TestArchiveQuorum:
+    def test_seed_behaviour_no_quorum_fails_fast(self):
+        env = build_demo_environment(clusters=[tiny()], fault_plan=XRAY_DOWN)
+        with pytest.raises(ServiceError):
+            env.portal.select_cluster("T01")
+
+    def test_quorum_annotates_dead_archives(self):
+        env = build_demo_environment(
+            clusters=[tiny()], fault_plan=XRAY_DOWN, archive_quorum=1
+        )
+        session = env.portal.select_cluster("T01")
+        assert len(session.archive_errors) == 2  # both X-ray archives down
+        assert session.degraded
+        assert session.n_context_images > 0  # the optical survey answered
+
+    def test_quorum_not_met_still_fails(self):
+        all_down = FaultPlan(
+            services={
+                "xray-query": ServiceFaultSpec(error_rate=1.0, permanent=True),
+                "sia-query": ServiceFaultSpec(error_rate=1.0, permanent=True),
+            },
+            recoverable=False,
+        )
+        env = build_demo_environment(
+            clusters=[tiny()], fault_plan=all_down, archive_quorum=1
+        )
+        with pytest.raises(ServiceError, match="archive quorum not met"):
+            env.portal.select_cluster("T01")
+
+
+class ForgetfulCutouts:
+    """Wraps the real cutout service but denies a set of galaxy ids —
+    the 'archive lost these cutouts' failure the per-row quorum absorbs."""
+
+    def __init__(self, inner, denied: set[str]) -> None:
+        self._inner = inner
+        self.denied = denied
+
+    def query(self, request):
+        table = self._inner.query(request)
+        from repro.votable.model import VOTable
+
+        out = VOTable(table.fields, name=table.name, params=dict(table.params))
+        for row in table:
+            if row["title"] not in self.denied:
+                out.append(row)
+        return out
+
+    def __getattr__(self, name):  # fetch_image, url_for, query_batch, ...
+        return getattr(self._inner, name)
+
+
+class TestCutoutQuorum:
+    def _env_session(self, cutout_quorum: float, deny: int):
+        env = build_demo_environment(clusters=[tiny()], cutout_quorum=cutout_quorum)
+        session = env.portal.select_cluster("T01")
+        env.portal.build_catalog(session)
+        denied = {row["id"] for row in list(session.catalog)[:deny]}
+        env.portal.cutout_service = ForgetfulCutouts(
+            env.portal.cutout_service, denied
+        )
+        return env, session, denied
+
+    def test_full_quorum_fails_on_any_unresolved_galaxy(self):
+        env, session, _ = self._env_session(cutout_quorum=1.0, deny=1)
+        with pytest.raises(ServiceError, match="no image"):
+            env.portal.resolve_cutouts(session)
+
+    def test_partial_quorum_drops_and_annotates(self):
+        env, session, denied = self._env_session(cutout_quorum=0.5, deny=1)
+        table = env.portal.resolve_cutouts(session)
+        assert set(session.dropped_galaxies) == denied
+        assert len(table) == tiny().n_galaxies - 1
+        assert session.degraded
+
+    def test_quorum_floor_enforced(self):
+        env, session, _ = self._env_session(cutout_quorum=0.5, deny=4)
+        with pytest.raises(ServiceError, match="cutout quorum not met"):
+            env.portal.resolve_cutouts(session)
+
+    def test_fault_free_portal_drops_nothing(self):
+        env = build_demo_environment(clusters=[tiny()], cutout_quorum=0.5)
+        session = env.portal.select_cluster("T01")
+        env.portal.build_catalog(session)
+        table = env.portal.resolve_cutouts(session)
+        assert session.dropped_galaxies == []
+        assert len(table) == tiny().n_galaxies
+        assert not session.degraded

@@ -1,0 +1,24 @@
+"""Resilience test fixtures: enabled telemetry with guaranteed teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture()
+def enabled_telemetry():
+    """Fresh tracer + registry for one test; always disabled afterwards."""
+    telemetry.enable()
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()
+
+
+@pytest.fixture(autouse=True)
+def _always_disabled_after():
+    """Safety net: no test leaves the global runtime enabled."""
+    yield
+    telemetry.disable()

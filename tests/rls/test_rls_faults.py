@@ -1,0 +1,82 @@
+"""Tests for RLS fault injection, retry absorption and stale invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ServiceTimeoutError
+from repro.faults.plan import FaultPlan, RlsFaultSpec
+from repro.resilience.retry import RetryPolicy
+from repro.rls.rls import Replica, ReplicaLocationService
+
+
+def seeded_rls(plan: FaultPlan | None = None, attempts: int = 3) -> ReplicaLocationService:
+    rls = ReplicaLocationService(
+        faults=plan.injector() if plan is not None else None,
+        retry_policy=RetryPolicy(
+            max_attempts=attempts, base_delay_s=0.01, jitter=0.0, seed=1
+        ),
+    )
+    rls.add_site("isi")
+    rls.add_site("fnal")
+    rls.register("galaxy.fit", "gsiftp://isi.grid/data/galaxy.fit", "isi")
+    rls.register("galaxy.fit", "gsiftp://fnal.grid/data/galaxy.fit", "fnal")
+    return rls
+
+
+class TestInjectedLookupTimeouts:
+    def test_bounded_timeouts_absorbed_by_retry(self):
+        plan = FaultPlan(rls=RlsFaultSpec(lookup_timeout_rate=1.0, max_timeouts=2))
+        rls = seeded_rls(plan)
+        replicas = rls.lookup("galaxy.fit")  # two injected timeouts, third attempt wins
+        assert [r.site for r in replicas] == ["fnal", "isi"]
+        assert rls.faults.injected() == {"rls/lookup-timeout": 2}
+
+    def test_unbounded_timeouts_exhaust_the_ladder(self):
+        plan = FaultPlan(rls=RlsFaultSpec(lookup_timeout_rate=1.0))
+        rls = seeded_rls(plan)
+        with pytest.raises(ServiceTimeoutError):
+            rls.lookup("galaxy.fit")
+
+    def test_exists_shares_the_guard(self):
+        plan = FaultPlan(rls=RlsFaultSpec(lookup_timeout_rate=1.0, max_timeouts=1))
+        rls = seeded_rls(plan)
+        assert rls.exists("galaxy.fit")
+        assert not rls.exists("missing.fit")
+
+    def test_fault_free_rls_pays_no_wrapper(self):
+        rls = seeded_rls(None)
+        before = rls.query_count
+        rls.lookup("galaxy.fit")
+        assert rls.query_count == before + 1
+
+
+class TestStaleInvalidation:
+    def test_invalidate_removes_single_replica(self):
+        rls = seeded_rls(None)
+        rls.invalidate_stale(
+            Replica(lfn="galaxy.fit", pfn="gsiftp://isi.grid/data/galaxy.fit", site="isi")
+        )
+        assert [r.site for r in rls.lookup("galaxy.fit")] == ["fnal"]
+
+    def test_invalidate_is_idempotent(self):
+        rls = seeded_rls(None)
+        stale = Replica(
+            lfn="galaxy.fit", pfn="gsiftp://isi.grid/data/galaxy.fit", site="isi"
+        )
+        rls.invalidate_stale(stale)
+        rls.invalidate_stale(stale)  # another worker got there first: no raise
+        assert rls.exists("galaxy.fit")
+
+    def test_last_replica_removes_index_entry(self):
+        rls = seeded_rls(None)
+        for site in ("isi", "fnal"):
+            rls.invalidate_stale(
+                Replica(
+                    lfn="galaxy.fit",
+                    pfn=f"gsiftp://{site}.grid/data/galaxy.fit",
+                    site=site,
+                )
+            )
+        assert not rls.exists("galaxy.fit")
+        assert rls.lookup("galaxy.fit") == []
