@@ -15,35 +15,48 @@ in flat, in image, out galMorph)`` and returns the measured parameters plus
 the validity flag of §4.3.1(4).
 """
 
-from repro.morphology.background import estimate_background
+from repro.morphology.background import estimate_background, estimate_background_batch
 from repro.morphology.geometry import CutoutGeometry, shared_geometry
 from repro.morphology.measures import (
     asymmetry_index,
+    asymmetry_index_batch,
     average_surface_brightness,
+    average_surface_brightness_batch,
     concentration_index,
+    concentration_index_batch,
     curve_of_growth_radii,
+    curve_of_growth_radii_batch,
 )
-from repro.morphology.petrosian import petrosian_radius
+from repro.morphology.petrosian import petrosian_radius, petrosian_radius_batch
 from repro.morphology.pipeline import (
     GalmorphTask,
     MorphologyResult,
     galmorph,
     galmorph_batch,
+    galmorph_stacked,
 )
-from repro.morphology.segmentation import central_source_mask
+from repro.morphology.segmentation import central_source_mask, central_source_mask_batch
 
 __all__ = [
     "estimate_background",
+    "estimate_background_batch",
     "asymmetry_index",
+    "asymmetry_index_batch",
     "average_surface_brightness",
+    "average_surface_brightness_batch",
     "concentration_index",
+    "concentration_index_batch",
     "curve_of_growth_radii",
+    "curve_of_growth_radii_batch",
     "petrosian_radius",
+    "petrosian_radius_batch",
     "CutoutGeometry",
     "shared_geometry",
     "GalmorphTask",
     "MorphologyResult",
     "galmorph",
     "galmorph_batch",
+    "galmorph_stacked",
     "central_source_mask",
+    "central_source_mask_batch",
 ]

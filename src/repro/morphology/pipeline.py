@@ -20,6 +20,8 @@ fanning out over a ``ProcessPoolExecutor``.  Clustered compute nodes in
 
 from __future__ import annotations
 
+import logging
+import os
 import pickle
 import time
 from collections.abc import Iterable, Sequence
@@ -31,15 +33,62 @@ import numpy as np
 from repro import telemetry
 from repro.catalog.cosmology import FlatLambdaCDM
 from repro.fits.hdu import ImageHDU
-from repro.morphology.background import estimate_background
+from repro.morphology.background import estimate_background, estimate_background_batch
 from repro.morphology.geometry import CutoutGeometry, shared_geometry
 from repro.morphology.measures import (
     asymmetry_index,
+    asymmetry_index_batch,
     average_surface_brightness,
+    average_surface_brightness_batch,
     concentration_index,
+    concentration_index_batch,
 )
-from repro.morphology.petrosian import petrosian_radius
-from repro.morphology.segmentation import central_source_mask, source_centroid
+from repro.morphology.petrosian import (
+    PETROSIAN_ERRORS,
+    PETROSIAN_OK,
+    petrosian_radius,
+    petrosian_radius_batch,
+)
+from repro.morphology.segmentation import (
+    central_source_mask,
+    central_source_mask_batch,
+    source_centroid,
+    source_centroid_batch,
+)
+
+logger = logging.getLogger(__name__)
+
+_ALLOCATOR_TUNED = False
+
+
+def _tune_allocator() -> None:
+    """Stop glibc from handing freed kernel buffers back to the OS.
+
+    The stacked kernels cycle multi-hundred-KB temporaries on every batch
+    call; glibc's default 128 KiB mmap threshold turns each of those into
+    a fresh ``mmap``/``munmap`` pair, so every pass over a large array
+    pays soft page faults instead of reusing warm pages.  Raising the
+    mmap and trim thresholds once per process roughly halves the cost of
+    the allocation-heavy hot path on this workload.  Opt out with
+    ``REPRO_GALMORPH_MALLOC_TUNE=0``; silently a no-op on non-glibc
+    platforms.  Trade-off: freed peak-usage pages stay resident in the
+    process, which is bounded here by a few MB of kernel scratch.
+    """
+    global _ALLOCATOR_TUNED
+    if _ALLOCATOR_TUNED:
+        return
+    _ALLOCATOR_TUNED = True
+    if os.environ.get("REPRO_GALMORPH_MALLOC_TUNE", "1") == "0":
+        return
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6")
+        libc.mallopt(-3, 1 << 27)  # M_MMAP_THRESHOLD
+        libc.mallopt(-1, 1 << 27)  # M_TRIM_THRESHOLD
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc
+        pass
+
 
 #: Everything a pathological cutout may legitimately raise out of the
 #: measurement kernels.  ``np.errstate(... "raise")`` turns silent numpy
@@ -275,37 +324,284 @@ def galmorph_batch(
         return _galmorph_batch_impl(task_list, processes=processes)
 
 
-def _galmorph_batch_impl(
-    task_list: list[GalmorphTask], *, processes: int | None
+try:  # stdlib, but keep the batch path alive on exotic builds without it
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+
+    class BrokenProcessPool(RuntimeError):
+        """Stand-in when concurrent.futures.process is unavailable."""
+
+
+#: Pool-infrastructure failures that trigger a fallback.  Deliberately
+#: narrow: a bare ``RuntimeError`` raised by the measurement kernels is a
+#: bug, not a pool problem, and must propagate (``BrokenProcessPool``
+#: subclasses ``RuntimeError``, so it stays in explicitly).
+_POOL_FAILURES = (OSError, ImportError, BrokenProcessPool, pickle.PicklingError)
+
+_FALLBACK_LOGGED: set[str] = set()
+
+
+def _note_fallback(kind: str, exc: BaseException) -> None:
+    """Account for a degraded execution path: count every occurrence in
+    ``galmorph_<kind>_fallback_total`` and log the first one per process."""
+    telemetry.count(f"galmorph_{kind}_fallback_total")
+    if kind not in _FALLBACK_LOGGED:
+        _FALLBACK_LOGGED.add(kind)
+        logger.warning(
+            "galmorph %s execution path unavailable (%s: %s); falling back",
+            kind,
+            type(exc).__name__,
+            exc,
+        )
+
+
+def _task_gid(task: GalmorphTask) -> str:
+    if task.galaxy_id is not None:
+        return task.galaxy_id
+    return str(task.image.header.get("OBJECT", "unknown"))
+
+
+def _split_stackable(
+    task_list: list[GalmorphTask],
+) -> tuple[dict[tuple[int, int], list[int]], dict[int, np.ndarray], list[int]]:
+    """Partition a batch into same-shape stackable groups and scalar leftovers.
+
+    Stackable means: flat cosmology, 2-D float-convertible data, all pixels
+    finite.  Everything else (missing data, weird dtypes, NaN/Inf pixels,
+    non-flat cosmology) keeps the scalar path — including its exact error
+    strings and the ``NotImplementedError`` contract.
+    """
+    groups: dict[tuple[int, int], list[int]] = {}
+    arrays: dict[int, np.ndarray] = {}
+    scalar: list[int] = []
+    for i, task in enumerate(task_list):
+        data = task.image.data
+        if task.flat and data is not None:
+            try:
+                arr = np.asarray(data, dtype=float)
+            except (TypeError, ValueError):
+                scalar.append(i)
+                continue
+            if arr.ndim == 2 and np.isfinite(arr).all():
+                groups.setdefault(arr.shape, []).append(i)
+                arrays[i] = arr
+                continue
+        scalar.append(i)
+    return groups, arrays, scalar
+
+
+def galmorph_stacked(
+    stack: np.ndarray,
+    ids: Sequence[str],
+    redshifts: np.ndarray,
+    pix_scales: np.ndarray,
+    zero_points: np.ndarray,
+    hos: np.ndarray,
+    oms: np.ndarray,
+    geometry: CutoutGeometry | None = None,
 ) -> list[MorphologyResult]:
-    if processes is not None and processes > 1 and len(task_list) > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            from concurrent.futures.process import BrokenProcessPool
+    """Measure a whole ``(N, H, W)`` stack of same-shape cutouts in one pass.
 
-            ctx = telemetry.capture_context()
-            with ProcessPoolExecutor(max_workers=processes) as pool:
-                chunksize = max(1, len(task_list) // (processes * 4))
-                if ctx is None:
-                    return list(pool.map(_run_task, task_list, chunksize=chunksize))
-                # traced: ship the parent context out, bring spans/metrics home
-                payloads = [(task, ctx) for task in task_list]
-                bundles = list(pool.map(_run_task_remote, payloads, chunksize=chunksize))
-            results: list[MorphologyResult] = []
-            tracer, registry = telemetry.get_tracer(), telemetry.get_registry()
-            for result, spans, metric_dump in bundles:
-                tracer.ingest(spans)
-                registry.merge(metric_dump)
-                results.append(result)
-            return results
-        except NotImplementedError:
-            raise  # non-flat cosmology: same contract as the sequential path
-        except (OSError, ImportError, BrokenProcessPool, pickle.PicklingError, RuntimeError):
-            pass  # fall back to the sequential shared-geometry path
+    The stacked twin of :func:`_galmorph_impl`: every stage — background,
+    segmentation, centroiding, Petrosian profile, surface brightness,
+    concentration, asymmetry — runs once over the batch axis instead of N
+    times, sharing one :class:`CutoutGeometry`.  Rows that fail a stage are
+    retired with the scalar path's exact error string and the survivors are
+    compacted, so later (more expensive) stages only see live rows.
 
+    Inputs must be finite (callers route non-finite cutouts to the scalar
+    path, which reproduces numpy's own error strings for them).  Each row's
+    arithmetic is per-row independent, so running a sub-range of the stack
+    produces bit-identical results to running the whole stack — the
+    property the shared-memory pool chunks rely on.
+    """
+    _tune_allocator()
+    stack = np.asarray(stack, dtype=float)
+    n = stack.shape[0]
+    results: list[MorphologyResult | None] = [None] * n
+    geom = geometry if geometry is not None else shared_geometry(stack.shape[1:])
+    redshifts = np.asarray(redshifts, dtype=float)
+    pix_scales = np.asarray(pix_scales, dtype=float)
+    zero_points = np.asarray(zero_points, dtype=float)
+    hos = np.asarray(hos, dtype=float)
+    oms = np.asarray(oms, dtype=float)
+
+    def retire(global_rows: np.ndarray, error: str | list[str]) -> None:
+        for k, i in enumerate(global_rows):
+            msg = error if isinstance(error, str) else error[k]
+            results[int(i)] = MorphologyResult(ids[int(i)], valid=False, error=msg)
+
+    try:
+        backgrounds = estimate_background_batch(stack)
+    except ValueError as exc:
+        return [MorphologyResult(ids[i], valid=False, error=str(exc)) for i in range(n)]
+    levels = np.array([bg.level for bg in backgrounds])
+    sigmas = np.array([bg.sigma for bg in backgrounds])
+    subtracted = stack - levels[:, None, None]
+
+    masks = central_source_mask_batch(stack, backgrounds)
+    has_source = masks.any(axis=(1, 2))
+    if has_source.all():
+        alive = np.arange(n)
+    else:
+        retire(np.nonzero(~has_source)[0], "no significant central source")
+        alive = np.nonzero(has_source)[0]
+
+    # Each stage retires its failures and compacts the survivor arrays so
+    # later (more expensive) stages only see live rows; the common
+    # all-clean batch skips every compaction copy.
+    cy = cx = r_p = measure_radius = radius_maps = sub_alive = None
+    if alive.size:
+        sub_alive = subtracted if alive.size == n else subtracted[alive]
+        cy, cx, totals = source_centroid_batch(
+            sub_alive, masks if alive.size == n else masks[alive], geom
+        )
+        bad = totals <= 0
+        if bad.any():
+            retire(alive[bad], "source has no positive flux")
+            keep = ~bad
+            alive, cy, cx, sub_alive = alive[keep], cy[keep], cx[keep], sub_alive[keep]
+
+    if alive.size:
+        radius_maps = geom.radius_maps_batch(cy, cx)
+        r_p, status = petrosian_radius_batch(sub_alive, radius_maps)
+        bad = status != PETROSIAN_OK
+        if bad.any():
+            retire(alive[bad], [PETROSIAN_ERRORS[int(s)] for s in status[bad]])
+            keep = ~bad
+            alive, cy, cx, r_p = alive[keep], cy[keep], cx[keep], r_p[keep]
+            sub_alive, radius_maps = sub_alive[keep], radius_maps[keep]
+
+    if alive.size:
+        measure_radius = np.minimum(1.5 * r_p, min(geom.shape) / 2.0 - 1.0)
+        bad = measure_radius <= 1.0
+        if bad.any():
+            retire(alive[bad], "source unresolved at this pixel scale")
+            keep = ~bad
+            alive, cy, cx, r_p = alive[keep], cy[keep], cx[keep], r_p[keep]
+            measure_radius = measure_radius[keep]
+            sub_alive, radius_maps = sub_alive[keep], radius_maps[keep]
+
+    psa = np.abs(pix_scales) * 3600.0
+    mu = c = a = None
+    if alive.size:
+        bad = psa[alive] <= 0
+        if bad.any():
+            retire(
+                alive[bad], [f"pixel scale must be positive: {p}" for p in psa[alive][bad]]
+            )
+            keep = ~bad
+            alive, cy, cx, r_p = alive[keep], cy[keep], cx[keep], r_p[keep]
+            measure_radius = measure_radius[keep]
+            sub_alive, radius_maps = sub_alive[keep], radius_maps[keep]
+
+    if alive.size:
+        mu, fluxes = average_surface_brightness_batch(
+            sub_alive, radius_maps, measure_radius, psa[alive], zero_points[alive]
+        )
+        bad = fluxes <= 0
+        if bad.any():
+            retire(alive[bad], "non-positive aperture flux; cannot form a magnitude")
+            keep = ~bad
+            alive, cy, cx, r_p, mu = alive[keep], cy[keep], cx[keep], r_p[keep], mu[keep]
+            measure_radius, sub_alive = measure_radius[keep], sub_alive[keep]
+            radius_maps = radius_maps[keep]
+
+    if alive.size:
+        c, totals = concentration_index_batch(
+            sub_alive, cy, cx, measure_radius, geom, radius_maps
+        )
+        bad_total = totals <= 0
+        bad_r80 = ~bad_total & ~np.isfinite(c)
+        if bad_total.any() or bad_r80.any():
+            retire(
+                alive[bad_total], "non-positive total flux inside the measurement aperture"
+            )
+            retire(alive[bad_r80], "r80 is non-positive; source is unresolved")
+            keep = ~(bad_total | bad_r80)
+            alive, cy, cx, r_p, mu, c = (
+                alive[keep], cy[keep], cx[keep], r_p[keep], mu[keep], c[keep],
+            )
+            measure_radius, sub_alive = measure_radius[keep], sub_alive[keep]
+
+    if alive.size:
+        a = asymmetry_index_batch(sub_alive, cy, cx, measure_radius, sigmas[alive], geom)
+        bad = ~np.isfinite(a)
+        if bad.any():
+            retire(alive[bad], "asymmetry undefined: no flux inside the aperture")
+            keep = ~bad
+            alive, r_p, mu, c, a = alive[keep], r_p[keep], mu[keep], c[keep], a[keep]
+
+    # Valid rows: convert to physical units.  The distance integral is the
+    # only per-galaxy scalar cost left, so it is memoised per unique
+    # (Ho, Om, z) triple across the batch.
+    kpc_memo: dict[tuple[float, float, float], float] = {}
+    for j, i in enumerate(alive):
+        i = int(i)
+        r_p_arcsec = float(r_p[j]) * psa[i]
+        z = float(redshifts[i])
+        if z > 0:
+            key = (float(hos[i]), float(oms[i]), max(z, 0.0))
+            kpc = kpc_memo.get(key)
+            if kpc is None:
+                kpc = _cosmology(key[0], key[1]).kpc_per_arcsec(key[2])
+                kpc_memo[key] = kpc
+            r_p_kpc = r_p_arcsec * kpc
+        else:
+            r_p_kpc = float("nan")
+        results[i] = MorphologyResult(
+            galaxy_id=ids[i],
+            valid=True,
+            surface_brightness=float(mu[j]),
+            concentration=float(c[j]),
+            asymmetry=float(a[j]),
+            petrosian_radius_arcsec=r_p_arcsec,
+            petrosian_radius_kpc=r_p_kpc,
+        )
+    return results  # type: ignore[return-value]
+
+
+def _emit_batch_telemetry(results: Sequence[MorphologyResult], elapsed: float) -> None:
+    """Per-galaxy spans/counters for rows measured by the stacked path.
+
+    The stacked kernels process all rows at once, so per-row wall time is
+    the batch time split evenly — the span *count* and the row/invalid
+    counters stay exact, which is what the accounting contract needs.
+    """
+    if not telemetry.enabled() or not results:
+        return
+    per_row = elapsed / len(results)
+    for result in results:
+        with telemetry.trace_span("galmorph.galaxy") as span:
+            telemetry.observe("galmorph_seconds", per_row)
+            telemetry.count("galmorph_rows_total", valid=str(result.valid).lower())
+            span.set(galaxy=result.galaxy_id, valid=result.valid)
+            if not result.valid:
+                telemetry.count("galmorph_invalid_rows_total")
+                span.set(error=result.error)
+
+
+def _stack_params(
+    task_list: list[GalmorphTask], indices: Sequence[int]
+) -> tuple[list[str], np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ids = [_task_gid(task_list[i]) for i in indices]
+    redshifts = np.array([task_list[i].redshift for i in indices], dtype=float)
+    pix_scales = np.array([task_list[i].pix_scale for i in indices], dtype=float)
+    zero_points = np.array([task_list[i].zero_point for i in indices], dtype=float)
+    hos = np.array([task_list[i].ho for i in indices], dtype=float)
+    oms = np.array([task_list[i].om for i in indices], dtype=float)
+    return ids, redshifts, pix_scales, zero_points, hos, oms
+
+
+def _run_scalar_leftovers(
+    task_list: list[GalmorphTask],
+    scalar_idx: Sequence[int],
+    results: list[MorphologyResult | None],
+) -> None:
+    """Run the non-stackable tasks through the scalar path, in place."""
     geometries: dict[tuple[int, int], CutoutGeometry] = {}
-    results: list[MorphologyResult] = []
-    for task in task_list:
+    for i in scalar_idx:
+        task = task_list[i]
         geom: CutoutGeometry | None = None
         data = task.image.data
         if data is not None and np.ndim(data) == 2:
@@ -313,20 +609,228 @@ def _galmorph_batch_impl(
             geom = geometries.get(shape)
             if geom is None:
                 geom = geometries.setdefault(shape, shared_geometry(shape))
-        results.append(
-            galmorph(
-                task.image,
-                redshift=task.redshift,
-                pix_scale=task.pix_scale,
-                zero_point=task.zero_point,
-                ho=task.ho,
-                om=task.om,
-                flat=task.flat,
-                galaxy_id=task.galaxy_id,
-                geometry=geom,
-            )
+        results[i] = galmorph(
+            task.image,
+            redshift=task.redshift,
+            pix_scale=task.pix_scale,
+            zero_point=task.zero_point,
+            ho=task.ho,
+            om=task.om,
+            flat=task.flat,
+            galaxy_id=task.galaxy_id,
+            geometry=geom,
         )
+
+
+def _galmorph_batch_local(task_list: list[GalmorphTask]) -> list[MorphologyResult]:
+    """Sequential batch: stacked kernels per shape group, scalar leftovers."""
+    groups, arrays, scalar_idx = _split_stackable(task_list)
+    results: list[MorphologyResult | None] = [None] * len(task_list)
+    for shape, indices in groups.items():
+        geom = shared_geometry(shape)
+        stack = np.stack([arrays[i] for i in indices])
+        ids, *params = _stack_params(task_list, indices)
+        t0 = time.perf_counter()
+        group_results = galmorph_stacked(stack, ids, *params, geometry=geom)
+        _emit_batch_telemetry(group_results, time.perf_counter() - t0)
+        for i, res in zip(indices, group_results):
+            results[i] = res
+    _run_scalar_leftovers(task_list, scalar_idx, results)
+    return results  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class _StackChunk:
+    """A worker's slice of one shared-memory shape-group stack."""
+
+    shm_name: str
+    shape: tuple[int, int, int]
+    lo: int
+    hi: int
+    ids: tuple[str, ...]
+    redshifts: tuple[float, ...]
+    pix_scales: tuple[float, ...]
+    zero_points: tuple[float, ...]
+    hos: tuple[float, ...]
+    oms: tuple[float, ...]
+
+
+def _create_shm(nbytes: int):
+    """Create one shared-memory segment (separate for test instrumentation)."""
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def _stacked_chunk_body(chunk: _StackChunk) -> list[MorphologyResult]:
+    """Worker body: attach to the parent's stack, measure a row range.
+
+    The worker never copies the cutouts — it maps the parent's segment and
+    hands a read-only row range straight to the stacked kernels (which are
+    per-row independent, so the chunk's results are bit-identical to the
+    same rows of a whole-batch run).  All views are dropped before
+    ``close()`` so the mapping can be torn down cleanly.
+    """
+    from multiprocessing import shared_memory
+
+    t0 = time.perf_counter()
+    shm = shared_memory.SharedMemory(name=chunk.shm_name)
+    stack = rows = None
+    try:
+        stack = np.ndarray(chunk.shape, dtype=np.float64, buffer=shm.buf)
+        stack.flags.writeable = False
+        rows = stack[chunk.lo : chunk.hi]
+        results = galmorph_stacked(
+            rows,
+            chunk.ids,
+            np.array(chunk.redshifts),
+            np.array(chunk.pix_scales),
+            np.array(chunk.zero_points),
+            np.array(chunk.hos),
+            np.array(chunk.oms),
+        )
+    finally:
+        stack = rows = None
+        shm.close()
+    _emit_batch_telemetry(results, time.perf_counter() - t0)
     return results
+
+
+def _run_stacked_chunk(
+    payload: tuple[_StackChunk, "telemetry.TraceContext | None"],
+) -> tuple[list[MorphologyResult], list, dict]:
+    """Picklable pool entry point wrapping :func:`_stacked_chunk_body` with
+    trace-context re-attachment (same protocol as :func:`_run_task_remote`)."""
+    chunk, ctx = payload
+    if ctx is None:
+        return _stacked_chunk_body(chunk), [], {}
+    return telemetry.run_with_context(ctx, _stacked_chunk_body, chunk)
+
+
+def _galmorph_batch_shm(
+    task_list: list[GalmorphTask],
+    groups: dict[tuple[int, int], list[int]],
+    arrays: dict[int, np.ndarray],
+    scalar_idx: list[int],
+    processes: int,
+) -> list[MorphologyResult]:
+    """Process-pool batch fed through ``multiprocessing.shared_memory``.
+
+    One segment per shape group: the parent stacks the cutouts into the
+    segment once, workers attach read-only row ranges, and only the few
+    hundred bytes of :class:`_StackChunk` metadata cross the pickle
+    boundary — no cutout pixels are serialised in either direction.  The
+    parent unlinks every segment in a ``finally``, so no segment outlives
+    the call even when a worker crashes.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = telemetry.capture_context()
+    results: list[MorphologyResult | None] = [None] * len(task_list)
+    segments = []
+    try:
+        chunks: list[_StackChunk] = []
+        chunk_targets: list[list[int]] = []
+        for shape, indices in groups.items():
+            h, w = shape
+            n = len(indices)
+            shm = _create_shm(n * h * w * 8)
+            segments.append(shm)
+            view = np.ndarray((n, h, w), dtype=np.float64, buffer=shm.buf)
+            for j, i in enumerate(indices):
+                view[j] = arrays[i]
+            del view
+            bounds = np.linspace(0, n, min(processes, n) + 1).astype(int)
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                lo, hi = int(lo), int(hi)
+                if lo == hi:
+                    continue
+                sel = indices[lo:hi]
+                ids, redshifts, pix_scales, zero_points, hos, oms = _stack_params(
+                    task_list, sel
+                )
+                chunks.append(
+                    _StackChunk(
+                        shm_name=shm.name,
+                        shape=(n, h, w),
+                        lo=lo,
+                        hi=hi,
+                        ids=tuple(ids),
+                        redshifts=tuple(redshifts),
+                        pix_scales=tuple(pix_scales),
+                        zero_points=tuple(zero_points),
+                        hos=tuple(hos),
+                        oms=tuple(oms),
+                    )
+                )
+                chunk_targets.append(sel)
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            payloads = [(chunk, ctx) for chunk in chunks]
+            bundles = list(pool.map(_run_stacked_chunk, payloads))
+    finally:
+        for shm in segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+    tracer, registry = telemetry.get_tracer(), telemetry.get_registry()
+    for sel, (chunk_results, spans, metric_dump) in zip(chunk_targets, bundles):
+        if ctx is not None:
+            tracer.ingest(spans)
+            registry.merge(metric_dump)
+        for i, res in zip(sel, chunk_results):
+            results[i] = res
+    _run_scalar_leftovers(task_list, scalar_idx, results)
+    return results  # type: ignore[return-value]
+
+
+def _galmorph_batch_pickled(
+    task_list: list[GalmorphTask], processes: int
+) -> list[MorphologyResult]:
+    """Legacy process-pool batch: whole tasks cross the pickle boundary.
+
+    Kept as the guarded fallback for environments where shared memory is
+    unavailable (no /dev/shm, sandboxed ftruncate, ...).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = telemetry.capture_context()
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        chunksize = max(1, len(task_list) // (processes * 4))
+        if ctx is None:
+            return list(pool.map(_run_task, task_list, chunksize=chunksize))
+        # traced: ship the parent context out, bring spans/metrics home
+        payloads = [(task, ctx) for task in task_list]
+        bundles = list(pool.map(_run_task_remote, payloads, chunksize=chunksize))
+    results: list[MorphologyResult] = []
+    tracer, registry = telemetry.get_tracer(), telemetry.get_registry()
+    for result, spans, metric_dump in bundles:
+        tracer.ingest(spans)
+        registry.merge(metric_dump)
+        results.append(result)
+    return results
+
+
+def _galmorph_batch_impl(
+    task_list: list[GalmorphTask], *, processes: int | None
+) -> list[MorphologyResult]:
+    if processes is not None and processes > 1 and len(task_list) > 1:
+        groups, arrays, scalar_idx = _split_stackable(task_list)
+        if sum(len(v) for v in groups.values()) > 1:
+            try:
+                return _galmorph_batch_shm(task_list, groups, arrays, scalar_idx, processes)
+            except NotImplementedError:
+                raise  # non-flat cosmology: same contract as the sequential path
+            except _POOL_FAILURES as exc:
+                _note_fallback("shm", exc)
+        try:
+            return _galmorph_batch_pickled(task_list, processes)
+        except NotImplementedError:
+            raise
+        except _POOL_FAILURES as exc:
+            _note_fallback("pool", exc)
+    return _galmorph_batch_local(task_list)
 
 
 def galmorph_batch_shapes(tasks: Sequence[GalmorphTask]) -> dict[tuple[int, int], int]:
