@@ -286,9 +286,33 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_queue(args: argparse.Namespace) -> int:
     """Render the journal's replayed queue state."""
+    import json
+
     from repro.scheduler import JobJournal
 
     state = JobJournal(args.journal).replay()
+    if args.json:
+        counts: dict[str, int] = {}
+        for record in state.jobs.values():
+            counts[record.state.value] = counts.get(record.state.value, 0) + 1
+        payload = {
+            "journal": str(args.journal),
+            "jobs": [
+                {
+                    **record.as_record(),
+                    "cache_hit": record.cache_hit,
+                    "error": record.error,
+                }
+                for record in state.jobs.values()
+            ],
+            "counts": counts,
+            "queued": counts.get("queued", 0),
+            "running": counts.get("running", 0),
+            "drained": counts.get("queued", 0) + counts.get("running", 0) == 0,
+            "usage": state.usage,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not state.jobs:
         print(f"queue is empty ({args.journal})")
         return 0
@@ -356,6 +380,95 @@ def cmd_serve(args: argparse.Namespace) -> int:
     _telemetry_end(args, traced)
     if failed:
         print(f"error: {len(failed)} job(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    """Run the asyncio portal serving tier until interrupted."""
+    import asyncio
+
+    from repro.serve import build_serving_stack
+
+    async def _run() -> None:
+        stack = build_serving_stack(
+            journal_path=args.journal,
+            runner=args.runner,
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            slots_per_job=args.slots_per_job,
+        )
+        async with stack:
+            print(
+                f"portal serving tier on {stack.server.url} "
+                f"(journal: {args.journal or 'in-memory'}, runner: {args.runner}, "
+                f"{stack.manager.leases.total_slots} pool slots)"
+            )
+            print("endpoints: /cone /sia /jobs /queue /health /metrics")
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await asyncio.Event().wait()  # serve until Ctrl-C
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutdown complete")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a serving tier (or a self-hosted one)."""
+    import asyncio
+    import json
+    import urllib.parse
+
+    from repro.serve import (
+        SCENARIOS,
+        build_serving_stack,
+        demo_cluster_targets,
+        run_scenario,
+    )
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    scenarios = []
+    for name in names:
+        factory = SCENARIOS[name]
+        kwargs = {"seed": args.seed}
+        if args.requests is not None:
+            kwargs["requests"] = args.requests
+        if args.rate is not None and name != "herd":
+            kwargs["rate"] = args.rate
+        scenarios.append(factory(**kwargs))
+    targets = demo_cluster_targets()
+
+    async def _run() -> list:
+        reports = []
+        if args.url:
+            parsed = urllib.parse.urlsplit(args.url)
+            host, port = parsed.hostname or "127.0.0.1", parsed.port or 80
+            for scenario in scenarios:
+                reports.append(await run_scenario(host, port, scenario, targets))
+        else:
+            stack = build_serving_stack(runner=args.runner)
+            async with stack:
+                for scenario in scenarios:
+                    reports.append(
+                        await run_scenario("127.0.0.1", stack.server.port, scenario, targets)
+                    )
+        return reports
+
+    reports = asyncio.run(_run())
+    for report in reports:
+        print(report.summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump([r.as_dict() for r in reports], fh, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+    failures = sum(len(r.failures) for r in reports)
+    if failures:
+        print(f"error: {failures} request(s) failed (5xx or transport)", file=sys.stderr)
         return 1
     return 0
 
@@ -468,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("queue", help="show the workload manager's queue state")
     p.add_argument("--journal", default="scheduler-journal.jsonl")
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable queue state (the load harness polls this)",
+    )
     p.set_defaults(fn=cmd_queue)
 
     p = sub.add_parser("serve", help="drain queued jobs on the demonstration Grid")
@@ -477,6 +594,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None, help="drain timeout in seconds")
     _add_telemetry_options(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-http",
+        help="run the asyncio HTTP portal tier (Cone/SIA queries, job submit/status)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument(
+        "--journal", default=None,
+        help="JSONL journal path (shared with repro submit/queue); default in-memory",
+    )
+    p.add_argument(
+        "--runner", default="portal", choices=("portal", "synthetic"),
+        help="job body: the real Figure-5 portal flow, or a cheap synthetic stand-in",
+    )
+    p.add_argument("--max-workers", type=int, default=4, help="concurrent campaigns")
+    p.add_argument("--slots-per-job", type=int, default=4, help="pool slots leased per job")
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="shut down after this long (default: serve until Ctrl-C)",
+    )
+    p.set_defaults(fn=cmd_serve_http)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator: Poisson/herd/slow-client scenarios + SLO report",
+    )
+    p.add_argument(
+        "--scenario", default="all", choices=("steady", "herd", "slow", "all"),
+    )
+    p.add_argument(
+        "--url", default=None,
+        help="target serving tier (default: self-host a synthetic-runner stack)",
+    )
+    p.add_argument(
+        "--runner", default="synthetic", choices=("portal", "synthetic"),
+        help="job body for the self-hosted stack (ignored with --url)",
+    )
+    p.add_argument("--requests", type=int, default=None, help="override per-scenario request count")
+    p.add_argument("--rate", type=float, default=None, help="override Poisson arrival rate (req/s)")
+    p.add_argument("--seed", type=int, default=2003, help="arrival-schedule seed")
+    p.add_argument("--out", default=None, metavar="PATH", help="write the JSON report here")
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser(
         "chaos",

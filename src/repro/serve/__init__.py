@@ -1,0 +1,66 @@
+"""The portal serving tier: asyncio HTTP in front of the workload manager.
+
+The paper's portal (Figure 5) is the user-facing entry point; this package
+is its network tier, built entirely on the standard library:
+
+* :mod:`repro.serve.http` — minimal HTTP/1.1 parsing and (streamed)
+  response writing over asyncio streams, with slow-client deadlines;
+* :mod:`repro.serve.app` — endpoint routing (Cone/SIA queries, job
+  submit/status/result, queue, health, metrics), per-tenant admission and
+  429 + ``Retry-After`` backpressure reusing the scheduler's policy bounds;
+* :mod:`repro.serve.server` — connection handling: keep-alive, connection
+  caps with accept-and-shed, leak-free graceful shutdown;
+* :mod:`repro.serve.bridge` — the thread-pool bridge that keeps blocking
+  Grid work off the event loop;
+* :mod:`repro.serve.loadgen` — the open-loop load generator (Poisson
+  arrivals, tenant mixes, thundering-herd and slow-client scenarios)
+  behind ``repro loadgen`` and the SLO benchmarks;
+* :mod:`repro.serve.harness` — one-call wiring of the whole stack.
+"""
+
+from repro.serve.app import ServeApp, TenantGate
+from repro.serve.bridge import WorkerBridge
+from repro.serve.harness import ServingStack, SyntheticJobRunner, build_serving_stack
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    Response,
+    SlowClientError,
+    StreamingResponse,
+)
+from repro.serve.loadgen import (
+    SCENARIOS,
+    Scenario,
+    ScenarioReport,
+    demo_cluster_targets,
+    herd_scenario,
+    http_request,
+    run_scenario,
+    slow_client_scenario,
+    steady_scenario,
+)
+from repro.serve.server import PortalHttpServer
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "PortalHttpServer",
+    "Response",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioReport",
+    "ServeApp",
+    "ServingStack",
+    "SlowClientError",
+    "StreamingResponse",
+    "SyntheticJobRunner",
+    "TenantGate",
+    "WorkerBridge",
+    "build_serving_stack",
+    "demo_cluster_targets",
+    "herd_scenario",
+    "http_request",
+    "run_scenario",
+    "slow_client_scenario",
+    "steady_scenario",
+]

@@ -1,0 +1,435 @@
+"""The portal application: endpoint routing, admission, streaming bodies.
+
+:class:`ServeApp` maps the serving tier's HTTP surface onto the existing
+components — Cone/SIA queries onto the synthetic data services, job
+submission/status/results onto the :class:`WorkloadManager` — with the
+overload behaviour web-scale astronomy portals need:
+
+* **per-tenant admission** at the HTTP boundary: a
+  :class:`TenantGate` bounds in-flight requests per tenant and globally,
+  with bounds derived from the scheduler's
+  :class:`~repro.scheduler.policy.AdmissionPolicy` so the HTTP tier and
+  the queue agree on what "full" means;
+* **backpressure, not queue growth**: a rejected request is a ``429``
+  with a ``Retry-After`` estimated from current queue depth — the
+  open-loop SkyServer lesson that shedding early beats collapsing late;
+* **streaming results**: Cone/SIA tables and job results go out as
+  chunked transfer encoding via :func:`repro.votable.writer.iter_votable`,
+  so a large table never materialises as one string in the serving path.
+
+Blocking work (service queries, journal appends, waits) runs on the
+:class:`~repro.serve.bridge.WorkerBridge`; the app itself only ever runs
+on the event loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Iterator
+
+from repro import telemetry
+from repro.core.errors import (
+    QueueFullError,
+    QuotaExceededError,
+    SchedulerError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.scheduler.job import JobRecord
+from repro.serve.bridge import WorkerBridge
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    Response,
+    StreamingResponse,
+)
+from repro.services.protocol import ConeSearchRequest, SIARequest
+from repro.votable.model import VOTable
+from repro.votable.writer import iter_votable
+
+#: Chunk size for streaming pre-materialised result bytes.
+RESULT_CHUNK_BYTES = 16384
+
+#: Upper bound on a ``?wait=`` long-poll, seconds.
+MAX_WAIT_SECONDS = 30.0
+
+VOTABLE_CONTENT_TYPE = "application/x-votable+xml"
+
+
+class TenantGate:
+    """In-flight request bounds, per tenant and global.
+
+    Only ever touched from the event loop, so plain counters suffice.
+    The defaults are taken from the scheduler's admission policy: a
+    tenant may have as many requests in flight as it may have active
+    jobs, and the server as many as the queue may hold.
+    """
+
+    def __init__(self, per_tenant: int = 16, total: int = 64) -> None:
+        if per_tenant < 1 or total < 1:
+            raise ValueError(
+                f"gate bounds must be positive: per_tenant={per_tenant}, total={total}"
+            )
+        self.per_tenant = per_tenant
+        self.total = total
+        self._inflight: dict[str, int] = {}
+        self._total = 0
+
+    def try_enter(self, tenant: str) -> bool:
+        if self._total >= self.total:
+            return False
+        if self._inflight.get(tenant, 0) >= self.per_tenant:
+            return False
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self._total += 1
+        return True
+
+    def leave(self, tenant: str) -> None:
+        count = self._inflight.get(tenant, 0)
+        if count <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = count - 1
+        self._total = max(0, self._total - 1)
+
+    def inflight(self, tenant: str | None = None) -> int:
+        if tenant is None:
+            return self._total
+        return self._inflight.get(tenant, 0)
+
+
+class _ReleasingChunks:
+    """Iterator releasing a tenant-gate slot exactly once.
+
+    A plain generator with ``finally`` is not enough: closing a generator
+    that never started skips its ``finally`` entirely, so a stream
+    abandoned before the first chunk (e.g. the response head write hit the
+    slow-client deadline) would leak the slot.  This wrapper releases on
+    exhaustion, on error, and on ``close()`` — whichever comes first.
+    """
+
+    def __init__(
+        self, gate: TenantGate, tenant: str, inner: Iterable[bytes | str]
+    ) -> None:
+        self._gate = gate
+        self._tenant = tenant
+        self._inner: Iterator[bytes | str] = iter(inner)
+        self._released = False
+
+    def __iter__(self) -> "_ReleasingChunks":
+        return self
+
+    def __next__(self) -> bytes | str:
+        try:
+            return next(self._inner)
+        except BaseException:  # including StopIteration
+            self._release()
+            raise
+
+    def close(self) -> None:
+        self._release()
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
+
+    def _release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._gate.leave(self._tenant)
+
+
+def _job_json(record: JobRecord) -> dict[str, Any]:
+    return {
+        **record.as_record(),
+        "cache_hit": record.cache_hit,
+        "wait_seconds": record.wait_seconds,
+        "run_seconds": record.run_seconds,
+        "error": record.error,
+        "terminal": record.terminal,
+    }
+
+
+def _json_response(
+    payload: Any, status: int = 200, headers: tuple[tuple[str, str], ...] = ()
+) -> Response:
+    return Response(
+        status=status,
+        body=(json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        content_type="application/json",
+        headers=headers,
+    )
+
+
+def _float_param(request: HttpRequest, name: str) -> float:
+    value = request.query.get(name)
+    if value is None:
+        raise HttpError(400, f"missing query parameter {name}")
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise HttpError(400, f"malformed {name}={value!r}") from exc
+
+
+class ServeApp:
+    """Routes requests onto the demo environment and workload manager."""
+
+    def __init__(
+        self,
+        env: Any,
+        manager: Any,
+        *,
+        bridge: WorkerBridge | None = None,
+        gate: TenantGate | None = None,
+    ) -> None:
+        self.env = env
+        self.manager = manager
+        self.bridge = bridge if bridge is not None else WorkerBridge()
+        if gate is None:
+            admission = manager.admission
+            gate = TenantGate(
+                per_tenant=admission.max_active_per_user,
+                total=admission.max_queue_depth,
+            )
+        self.gate = gate
+
+    # -- admission ------------------------------------------------------------
+    @staticmethod
+    def tenant_of(request: HttpRequest) -> str:
+        return request.header("x-tenant") or request.query.get("user") or "anonymous"
+
+    def retry_after(self) -> int:
+        """Seconds a shed client should wait, from current backlog."""
+        depth = self.manager.queue_depth() + self.manager.running_jobs()
+        return max(1, min(30, round(0.5 * depth)))
+
+    def _shed(self, reason: str, retry_after: int | None = None) -> HttpError:
+        telemetry.count("serve_shed_total", reason=reason)
+        seconds = self.retry_after() if retry_after is None else retry_after
+        return HttpError(
+            429,
+            f"overloaded ({reason}); retry after {seconds}s",
+            headers=(("Retry-After", str(seconds)),),
+        )
+
+    # -- metrics labels --------------------------------------------------------
+    @staticmethod
+    def route_label(method: str, path: str) -> str:
+        """Stable low-cardinality route label for metrics."""
+        if path.startswith("/jobs"):
+            if path == "/jobs":
+                return "jobs.submit" if method == "POST" else "jobs.list"
+            if path.endswith("/result"):
+                return "jobs.result"
+            return "jobs.status"
+        if path in ("/cone", "/sia", "/health", "/metrics", "/queue"):
+            return path[1:]
+        return "unmatched"
+
+    # -- dispatch --------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> Response | StreamingResponse:
+        """Route one request; raises :class:`HttpError` for error statuses."""
+        tenant = self.tenant_of(request)
+        if not self.gate.try_enter(tenant):
+            raise self._shed("tenant-gate", retry_after=1)
+        release = True
+        try:
+            response = await self._dispatch(request, tenant)
+            if isinstance(response, StreamingResponse):
+                # The body is produced after handle() returns; hold the
+                # gate slot until the stream is fully consumed or closed.
+                response.chunks = _ReleasingChunks(self.gate, tenant, response.chunks)
+                release = False
+            return response
+        finally:
+            if release:
+                self.gate.leave(tenant)
+
+    async def _dispatch(
+        self, request: HttpRequest, tenant: str
+    ) -> Response | StreamingResponse:
+        method, path = request.method, request.path
+        if path == "/health":
+            return await self._health(method)
+        if path == "/metrics":
+            return self._metrics(method)
+        if path == "/cone":
+            return await self._cone(request, method)
+        if path == "/sia":
+            return await self._sia(request, method)
+        if path == "/queue":
+            self._require(method, "GET")
+            return _json_response(await self.bridge.call(self.manager.snapshot))
+        if path == "/jobs":
+            if method == "POST":
+                return await self._submit(request, tenant)
+            self._require(method, "GET")
+            records = await self.bridge.call(self.manager.jobs)
+            return _json_response({"jobs": [_job_json(r) for r in records]})
+        if path.startswith("/jobs/"):
+            return await self._job(request, method, path)
+        raise HttpError(404, f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, *allowed: str) -> None:
+        if method not in allowed:
+            raise HttpError(
+                405,
+                f"method {method} not allowed",
+                headers=(("Allow", ", ".join(allowed)),),
+            )
+
+    # -- endpoints ----------------------------------------------------------------
+    async def _health(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        return _json_response(
+            {
+                "status": "ok",
+                "queued": self.manager.queue_depth(),
+                "running": self.manager.running_jobs(),
+                "inflight": self.gate.inflight(),
+            }
+        )
+
+    def _metrics(self, method: str) -> Response:
+        self._require(method, "GET", "HEAD")
+        return Response(
+            status=200,
+            body=telemetry.prometheus_text().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _stream_table(self, table: VOTable) -> StreamingResponse:
+        return StreamingResponse(
+            status=200,
+            chunks=iter_votable(table),
+            content_type=VOTABLE_CONTENT_TYPE,
+            headers=(("X-Record-Count", str(len(table))),),
+        )
+
+    async def _cone(self, request: HttpRequest, method: str) -> StreamingResponse:
+        self._require(method, "GET")
+        catalog = request.query.get("catalog", "photometry")
+        services = {
+            "photometry": self.env.photometry_service,
+            "redshift": self.env.redshift_service,
+        }
+        service = services.get(catalog)
+        if service is None:
+            raise HttpError(
+                400, f"unknown catalog {catalog!r}; expected one of {sorted(services)}"
+            )
+        try:
+            cone = ConeSearchRequest(
+                ra=_float_param(request, "RA"),
+                dec=_float_param(request, "DEC"),
+                sr=_float_param(request, "SR"),
+            )
+        except ServiceError as exc:
+            raise HttpError(400, str(exc)) from exc
+        table = await self.bridge.call(service.search, cone)
+        return self._stream_table(table)
+
+    async def _sia(self, request: HttpRequest, method: str) -> StreamingResponse:
+        self._require(method, "GET")
+        survey = request.query.get("survey", "dss")
+        archives = {
+            "dss": self.env.optical_archive,
+            "rosat": self.env.rosat_archive,
+            "chandra": self.env.chandra_archive,
+        }
+        archive = archives.get(survey)
+        if archive is None:
+            raise HttpError(
+                400, f"unknown survey {survey!r}; expected one of {sorted(archives)}"
+            )
+        pos = request.query.get("POS")
+        if pos is None:
+            raise HttpError(400, "missing query parameter POS")
+        parts = pos.split(",")
+        if len(parts) != 2:
+            raise HttpError(400, f"malformed POS={pos!r}; expected RA,DEC")
+        try:
+            sia = SIARequest(
+                ra=float(parts[0]),
+                dec=float(parts[1]),
+                size=_float_param(request, "SIZE"),
+            )
+        except (ValueError, ServiceError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        table = await self.bridge.call(archive.query, sia)
+        return self._stream_table(table)
+
+    async def _submit(self, request: HttpRequest, tenant: str) -> Response:
+        try:
+            payload = json.loads(request.body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HttpError(400, "JSON body must be an object")
+        cluster = payload.get("cluster")
+        if not cluster or not isinstance(cluster, str):
+            raise HttpError(400, "body requires a 'cluster' string")
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise HttpError(400, "'options' must be an object")
+        user = payload.get("user") or tenant
+        try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, "'priority' must be an integer") from exc
+        try:
+            record = await self.bridge.call(
+                self.manager.submit, user, cluster, options, priority
+            )
+        except QueueFullError:
+            raise self._shed("queue-full") from None
+        except QuotaExceededError:
+            raise self._shed("tenant-quota") from None
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return _json_response(
+            _job_json(record),
+            status=202,
+            headers=(("Location", f"/jobs/{record.job_id}"),),
+        )
+
+    async def _job(
+        self, request: HttpRequest, method: str, path: str
+    ) -> Response | StreamingResponse:
+        self._require(method, "GET")
+        rest = path[len("/jobs/") :]
+        job_id, _, tail = rest.partition("/")
+        if tail not in ("", "result"):
+            raise HttpError(404, f"no route for {path}")
+        try:
+            if tail == "result":
+                return await self._job_result(job_id)
+            wait = request.query.get("wait")
+            if wait is not None:
+                timeout = min(max(float(wait), 0.0), MAX_WAIT_SECONDS)
+                try:
+                    await self.bridge.call(self.manager.wait, job_id, timeout)
+                except SchedulerError:
+                    pass  # long-poll timed out: report the current state
+            record = await self.bridge.call(self.manager.job, job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, str(exc)) from exc
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return _json_response(_job_json(record))
+
+    async def _job_result(self, job_id: str) -> StreamingResponse:
+        try:
+            content = await self.bridge.call(self.manager.result_bytes, job_id)
+        except UnknownJobError as exc:
+            raise HttpError(404, str(exc)) from exc
+        except SchedulerError as exc:
+            # Known job, result unavailable (not completed / evicted).
+            raise HttpError(409, str(exc)) from exc
+        chunks = (
+            content[i : i + RESULT_CHUNK_BYTES]
+            for i in range(0, len(content), RESULT_CHUNK_BYTES)
+        )
+        return StreamingResponse(
+            status=200, chunks=chunks, content_type=VOTABLE_CONTENT_TYPE
+        )

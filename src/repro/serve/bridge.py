@@ -1,0 +1,51 @@
+"""The worker bridge: blocking Grid work kept off the event loop.
+
+Everything behind the HTTP tier is synchronous and lock-protected — the
+:class:`~repro.scheduler.service.WorkloadManager` (condition variable +
+dispatcher threads), the journal, the synthetic data services.  The bridge
+runs those calls on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+so a slow journal append or a long cone selection never stalls connection
+handling, and the executor size bounds how much blocking work the serve
+tier will take on at once (the asyncio side queues behind it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkerBridge:
+    """Run blocking callables on a dedicated pool, awaitably."""
+
+    def __init__(self, max_workers: int = 8) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="serve-bridge"
+        )
+        self._closed = False
+
+    async def call(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+        """Await ``fn(*args, **kwargs)`` executed on the bridge pool."""
+        if self._closed:
+            raise RuntimeError("worker bridge is closed")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args, **kwargs)
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down (idempotent); queued work is cancelled."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerBridge":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

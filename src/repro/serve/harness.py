@@ -1,0 +1,144 @@
+"""Wiring helpers: a complete serving stack in one call.
+
+Used by the ``repro serve-http`` / ``repro loadgen`` CLI verbs, the
+``run_serve_bench`` SLO benchmark and the CI serve-smoke script.  Two
+runner flavours:
+
+* ``"portal"`` — the real :class:`PortalJobRunner` walking the Figure-5
+  flow on a demonstration environment (production shape, seconds/job);
+* ``"synthetic"`` — :class:`SyntheticJobRunner`, a deterministic stand-in
+  whose cost is a configurable few milliseconds: load tests of the
+  *serving tier* must be dominated by connection handling and admission,
+  not by galaxy morphology numerics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.portal.demo import build_demo_environment
+from repro.scheduler.journal import JobJournal
+from repro.scheduler.job import JobSpec
+from repro.scheduler.runner import JobOutcome, PortalJobRunner
+from repro.scheduler.service import WorkloadManager
+from repro.serve.app import ServeApp
+from repro.serve.server import PortalHttpServer
+from repro.votable.model import Field, VOTable
+from repro.votable.writer import write_votable
+
+
+class SyntheticJobRunner:
+    """A deterministic, cheap job body for load-testing the serving tier.
+
+    The produced VOTable depends only on the spec's cluster and options
+    (so result caching and byte-identity assertions behave exactly as with
+    real jobs), and the simulated compute time is derived from the spec's
+    signature — stable across runs, varied across jobs.
+    """
+
+    def __init__(self, base_seconds: float = 0.005, spread_seconds: float = 0.01) -> None:
+        self.base_seconds = base_seconds
+        self.spread_seconds = spread_seconds
+
+    def run(self, spec: JobSpec, resume_from: set[str] | None) -> JobOutcome:
+        key = f"{spec.cluster}|{sorted(spec.options)}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        time.sleep(self.base_seconds + self.spread_seconds * digest[0] / 255.0)
+        table = VOTable(
+            [
+                Field("id", "char"),
+                Field("concentration", "double"),
+                Field("asymmetry", "double"),
+            ],
+            name=f"{spec.cluster}-morphology",
+            params={"cluster": spec.cluster},
+        )
+        for i in range(8):
+            table.append(
+                {
+                    "id": f"{spec.cluster}-{i:04d}",
+                    "concentration": 1.0 + digest[i + 1] / 64.0,
+                    "asymmetry": digest[i + 9] / 512.0,
+                }
+            )
+        return JobOutcome(
+            result_bytes=write_votable(table).encode("utf-8"),
+            galaxies=len(table),
+            valid_measurements=len(table),
+        )
+
+
+@dataclass
+class ServingStack:
+    """Everything a running serve tier owns, with ordered teardown."""
+
+    env: object
+    manager: WorkloadManager
+    app: ServeApp
+    server: PortalHttpServer
+    _started: bool = dataclass_field(default=False, repr=False)
+
+    async def start(self) -> None:
+        self.manager.start()
+        await self.server.start()
+        self._started = True
+
+    async def close(self, grace: float = 5.0) -> None:
+        """Stop the listener, drain handlers, then the manager and bridge."""
+        await self.server.close(grace=grace)
+        self.app.bridge.close()
+        self.manager.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "ServingStack":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+
+def build_serving_stack(
+    *,
+    journal_path: str | None = None,
+    runner: str = "portal",
+    clusters: object = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int = 4,
+    slots_per_job: int = 4,
+    **server_options: object,
+) -> ServingStack:
+    """Build (but do not start) a complete serving stack.
+
+    ``runner="synthetic"`` still builds the demonstration environment —
+    the Cone/SIA endpoints always serve real synthetic-sky queries — but
+    swaps the job body for :class:`SyntheticJobRunner`.
+    """
+    env = (
+        build_demo_environment(clusters=clusters)
+        if clusters is not None
+        else build_demo_environment()
+    )
+    journal = JobJournal(journal_path)
+    if runner == "portal":
+        manager = WorkloadManager.for_environment(
+            env,
+            journal=journal,
+            max_workers=max_workers,
+            slots_per_job=slots_per_job,
+        )
+    elif runner == "synthetic":
+        manager = WorkloadManager(
+            SyntheticJobRunner(),
+            journal=journal,
+            max_workers=max_workers,
+            slots_per_job=slots_per_job,
+        )
+    else:
+        raise ValueError(f"unknown runner {runner!r}; expected 'portal' or 'synthetic'")
+    app = ServeApp(env, manager)
+    server = PortalHttpServer(app, host=host, port=port, **server_options)  # type: ignore[arg-type]
+    return ServingStack(env=env, manager=manager, app=app, server=server)

@@ -49,6 +49,8 @@ RESILIENCE_METRICS = (
     "portal_archive_errors_total",
     "portal_dropped_galaxies_total",
     "service_request_errors_total",
+    "galmorph_shm_fallback_total",
+    "galmorph_pool_fallback_total",
 )
 
 #: Span name the Condor executors use for per-DAG-node spans.

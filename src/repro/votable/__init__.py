@@ -24,7 +24,7 @@ from repro.votable.ops import (
     vstack,
 )
 from repro.votable.parser import parse_votable
-from repro.votable.writer import to_mirage_format, write_votable
+from repro.votable.writer import iter_votable, to_mirage_format, write_votable
 
 __all__ = [
     "Field",
@@ -37,6 +37,7 @@ __all__ = [
     "parse_votable",
     "parse_votable_binary",
     "write_votable_binary",
+    "iter_votable",
     "write_votable",
     "to_mirage_format",
 ]

@@ -3,15 +3,29 @@
 The paper supported the IBM Mirage visualisation tool "by creating an XSL
 stylesheet that transformed the VOTable into the tool's native format";
 :func:`to_mirage_format` is that transform.
+
+Serialisation is **incremental**: :func:`iter_votable` yields the document
+as a sequence of string chunks — header, one chunk per block of rows, and
+the closing tags — so the portal's streaming HTTP tier can ship a large
+result table without ever materialising the whole document, and
+:func:`write_votable` is simply the joined stream.  The chunks concatenate
+to *byte-identical* output with the historical
+:mod:`xml.etree.ElementTree`-based writer (pretty-printed with
+``ET.indent``, ``<?xml version='1.0' encoding='utf-8'?>`` declaration, ET's
+escaping rules), which the test suite pins against an ET reference
+implementation.
 """
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ET
-from typing import Any
+from typing import Any, Iterator
 
 from repro.votable.model import VOTable
 from repro.votable.parser import NS
+
+#: Rows serialised per streamed chunk; small enough to start the response
+#: immediately, large enough that per-chunk overhead is negligible.
+DEFAULT_ROWS_PER_CHUNK = 256
 
 
 def _format_cell(value: Any, datatype: str) -> str:
@@ -24,6 +38,137 @@ def _format_cell(value: Any, datatype: str) -> str:
     return str(value)
 
 
+def _escape_cdata(text: str) -> str:
+    """Element-text escaping, mirroring ElementTree's ``_escape_cdata``."""
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    return text
+
+
+def _escape_attrib(text: str) -> str:
+    """Attribute-value escaping, mirroring ElementTree's ``_escape_attrib``."""
+    if "&" in text:
+        text = text.replace("&", "&amp;")
+    if "<" in text:
+        text = text.replace("<", "&lt;")
+    if ">" in text:
+        text = text.replace(">", "&gt;")
+    if '"' in text:
+        text = text.replace('"', "&quot;")
+    if "\r" in text:
+        text = text.replace("\r", "&#13;")
+    if "\n" in text:
+        text = text.replace("\n", "&#10;")
+    if "\t" in text:
+        text = text.replace("\t", "&#09;")
+    return text
+
+
+def _attrs(pairs: list[tuple[str, str]]) -> str:
+    return "".join(f' {k}="{_escape_attrib(v)}"' for k, v in pairs)
+
+
+def _field_attrs(f: Any) -> list[tuple[str, str]]:
+    pairs = [("name", f.name), ("datatype", f.datatype)]
+    if f.unit:
+        pairs.append(("unit", f.unit))
+    if f.ucd:
+        pairs.append(("ucd", f.ucd))
+    if f.arraysize is not None:
+        pairs.append(("arraysize", f.arraysize))
+    elif f.datatype == "char":
+        pairs.append(("arraysize", "*"))
+    return pairs
+
+
+def _header(table: VOTable, namespaced: bool) -> str:
+    """Everything up to (and including) the opening ``<TABLEDATA>`` line."""
+    out: list[str] = ["<?xml version='1.0' encoding='utf-8'?>\n"]
+    root_attrs = [("version", "1.1")]
+    if namespaced:
+        root_attrs.append(("xmlns", NS))
+    out.append(f"<VOTABLE{_attrs(root_attrs)}>\n")
+    out.append("  <RESOURCE>\n")
+    for key, value in table.params.items():
+        pairs = [
+            ("name", key),
+            ("value", value),
+            ("datatype", "char"),
+            ("arraysize", "*"),
+        ]
+        out.append(f"    <PARAM{_attrs(pairs)} />\n")
+    table_attrs = [("name", table.name)] if table.name else []
+    out.append(f"    <TABLE{_attrs(table_attrs)}>\n")
+    if table.description:
+        out.append(f"      <DESCRIPTION>{_escape_cdata(table.description)}</DESCRIPTION>\n")
+    for f in table.fields:
+        pairs = _field_attrs(f)
+        if f.description:
+            out.append(f"      <FIELD{_attrs(pairs)}>\n")
+            out.append(f"        <DESCRIPTION>{_escape_cdata(f.description)}</DESCRIPTION>\n")
+            out.append("      </FIELD>\n")
+        else:
+            out.append(f"      <FIELD{_attrs(pairs)} />\n")
+    out.append("      <DATA>\n")
+    if len(table):
+        out.append("        <TABLEDATA>\n")
+    else:
+        # ET serialises a childless element self-closed.
+        out.append("        <TABLEDATA />\n")
+    return "".join(out)
+
+
+def _footer(table: VOTable) -> str:
+    out: list[str] = []
+    if len(table):
+        out.append("        </TABLEDATA>\n")
+    out.append("      </DATA>\n")
+    out.append("    </TABLE>\n")
+    out.append("  </RESOURCE>\n")
+    out.append("</VOTABLE>")  # ET emits no trailing newline
+    return "".join(out)
+
+
+def _render_rows(rows: list[tuple[Any, ...]], datatypes: list[str]) -> str:
+    out: list[str] = []
+    for row in rows:
+        out.append("          <TR>\n")
+        for value, datatype in zip(row, datatypes):
+            cell = _format_cell(value, datatype)
+            if cell:
+                out.append(f"            <TD>{_escape_cdata(cell)}</TD>\n")
+            else:
+                # ET serialises empty text as a self-closed element.
+                out.append("            <TD />\n")
+        out.append("          </TR>\n")
+    return "".join(out)
+
+
+def iter_votable(
+    table: VOTable,
+    namespaced: bool = True,
+    rows_per_chunk: int = DEFAULT_ROWS_PER_CHUNK,
+) -> Iterator[str]:
+    """Yield ``table`` as VOTable XML chunks (header, row blocks, footer).
+
+    The concatenation of the chunks is exactly :func:`write_votable`'s
+    output; no chunk boundary ever splits an element.  ``rows_per_chunk``
+    bounds peak memory: only one block of serialised rows exists at a time.
+    """
+    if rows_per_chunk < 1:
+        raise ValueError(f"rows_per_chunk must be positive, got {rows_per_chunk}")
+    yield _header(table, namespaced)
+    rows = table.rows()
+    datatypes = [f.datatype for f in table.fields]
+    for start in range(0, len(rows), rows_per_chunk):
+        yield _render_rows(rows[start : start + rows_per_chunk], datatypes)
+    yield _footer(table)
+
+
 def write_votable(table: VOTable, namespaced: bool = True) -> str:
     """Serialise ``table`` to a VOTable XML string.
 
@@ -31,37 +176,7 @@ def write_votable(table: VOTable, namespaced: bool = True) -> str:
     services produced; :func:`repro.votable.parser.parse_votable` accepts
     both.
     """
-    attrs = {"version": "1.1"}
-    if namespaced:
-        attrs["xmlns"] = NS
-    root = ET.Element("VOTABLE", attrs)
-    resource = ET.SubElement(root, "RESOURCE")
-    for key, value in table.params.items():
-        ET.SubElement(resource, "PARAM", {"name": key, "value": value, "datatype": "char", "arraysize": "*"})
-    telem = ET.SubElement(resource, "TABLE", {"name": table.name} if table.name else {})
-    if table.description:
-        ET.SubElement(telem, "DESCRIPTION").text = table.description
-    for f in table.fields:
-        fattrs = {"name": f.name, "datatype": f.datatype}
-        if f.unit:
-            fattrs["unit"] = f.unit
-        if f.ucd:
-            fattrs["ucd"] = f.ucd
-        if f.arraysize is not None:
-            fattrs["arraysize"] = f.arraysize
-        elif f.datatype == "char":
-            fattrs["arraysize"] = "*"
-        felem = ET.SubElement(telem, "FIELD", fattrs)
-        if f.description:
-            ET.SubElement(felem, "DESCRIPTION").text = f.description
-    data = ET.SubElement(telem, "DATA")
-    tabledata = ET.SubElement(data, "TABLEDATA")
-    for row in table.rows():
-        tr = ET.SubElement(tabledata, "TR")
-        for value, f in zip(row, table.fields):
-            ET.SubElement(tr, "TD").text = _format_cell(value, f.datatype)
-    ET.indent(root)
-    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+    return "".join(iter_votable(table, namespaced=namespaced))
 
 
 def to_mirage_format(table: VOTable) -> str:

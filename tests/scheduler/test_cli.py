@@ -110,3 +110,37 @@ class TestCampaignExitCode:
         )
         assert main(["campaign"]) == 0
         assert "did not complete" not in capsys.readouterr().err
+
+
+class TestQueueJson:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        import json
+
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["submit", "alice", "A3526", "--journal", journal]) == 0
+        assert main(
+            ["submit", "bob", "MS0451", "--journal", journal, "-o", "bins=5"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["queue", "--json", "--journal", journal]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["journal"] == journal
+        assert payload["counts"] == {"queued": 2}
+        assert payload["queued"] == 2 and payload["running"] == 0
+        assert payload["drained"] is False
+        users = {job["user"] for job in payload["jobs"]}
+        assert users == {"alice", "bob"}
+        for job in payload["jobs"]:
+            assert {"job_id", "state", "cluster", "cache_hit", "error"} <= set(job)
+
+    def test_json_empty_journal_reports_drained(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["queue", "--json", "--journal", str(tmp_path / "missing.jsonl")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == []
+        assert payload["counts"] == {}
+        assert payload["drained"] is True

@@ -1,0 +1,302 @@
+"""Unit tests for the minimal HTTP/1.1 layer: parsing, framing, deadlines."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Response,
+    SlowClientError,
+    StreamingResponse,
+    error_response,
+    parse_request_head,
+    read_request,
+    render_head,
+    write_response,
+)
+
+
+def head_of(text: str) -> bytes:
+    """Request text with LF line endings -> wire bytes (no blank line)."""
+    return text.replace("\n", "\r\n").encode("ascii")
+
+
+class TestParseRequestHead:
+    def test_get_with_query(self):
+        request = parse_request_head(
+            head_of("GET /cone?RA=150.1&DEC=2.2&SR=0.25 HTTP/1.1\nHost: x\nX-Tenant: alice")
+        )
+        assert request.method == "GET"
+        assert request.path == "/cone"
+        assert request.query == {"RA": "150.1", "DEC": "2.2", "SR": "0.25"}
+        assert request.header("x-tenant") == "alice"
+        assert request.header("X-Tenant") == "alice"  # lookup is case-blind
+
+    def test_path_is_percent_decoded(self):
+        request = parse_request_head(head_of("GET /jobs/job%2D1 HTTP/1.1"))
+        assert request.path == "/jobs/job-1"
+
+    def test_empty_path_becomes_root(self):
+        assert parse_request_head(head_of("GET  HTTP/1.1")).path == "/"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "GET /x",  # two tokens after splitting on single spaces -> not 3
+            "GET /x HTTP/2.0",
+            "get /x HTTP/1.1",
+            "G3T /x HTTP/1.1",
+        ],
+    )
+    def test_malformed_request_lines_are_400(self, line):
+        with pytest.raises(HttpError) as err:
+            parse_request_head(head_of(line))
+        assert err.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as err:
+            parse_request_head(head_of("GET / HTTP/1.1\nno-colon-here"))
+        assert err.value.status == 400
+
+    def test_header_name_with_leading_space_is_400(self):
+        # obs-fold / smuggling shape: " Host: x" must not silently merge
+        with pytest.raises(HttpError) as err:
+            parse_request_head(head_of("GET / HTTP/1.1\n Host: x"))
+        assert err.value.status == 400
+
+
+class TestKeepAliveSemantics:
+    def test_http11_defaults_to_keep_alive(self):
+        assert parse_request_head(head_of("GET / HTTP/1.1")).keep_alive
+
+    def test_http11_close_honoured(self):
+        request = parse_request_head(head_of("GET / HTTP/1.1\nConnection: close"))
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        assert not parse_request_head(head_of("GET / HTTP/1.0")).keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        request = parse_request_head(
+            head_of("GET / HTTP/1.0\nConnection: Keep-Alive")
+        )
+        assert request.keep_alive
+
+
+def feed(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestReadRequest:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_reads_request_with_body(self):
+        async def scenario():
+            reader = feed(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"
+            )
+            return await read_request(reader)
+
+        request = self.run(scenario())
+        assert request.method == "POST"
+        assert request.body == b"body"
+
+    def test_clean_eof_returns_none(self):
+        async def scenario():
+            return await read_request(feed(b""))
+
+        assert self.run(scenario()) is None
+
+    def test_partial_head_then_eof_is_400(self):
+        async def scenario():
+            return await read_request(feed(b"GET / HT"))
+
+        with pytest.raises(HttpError) as err:
+            self.run(scenario())
+        assert err.value.status == 400
+
+    def test_transfer_encoding_is_501(self):
+        async def scenario():
+            return await read_request(
+                feed(b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            )
+
+        with pytest.raises(HttpError) as err:
+            self.run(scenario())
+        assert err.value.status == 501
+
+    @pytest.mark.parametrize("value", ["nope", "-3"])
+    def test_bad_content_length_is_400(self, value):
+        async def scenario():
+            return await read_request(
+                feed(f"POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n".encode())
+            )
+
+        with pytest.raises(HttpError) as err:
+            self.run(scenario())
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        async def scenario():
+            return await read_request(
+                feed(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n"),
+                max_body_bytes=100,
+            )
+
+        with pytest.raises(HttpError) as err:
+            self.run(scenario())
+        assert err.value.status == 413
+
+    def test_oversized_header_section_is_413(self):
+        async def scenario():
+            filler = b"X-Pad: " + b"a" * 600 + b"\r\n"
+            return await read_request(
+                feed(b"GET / HTTP/1.1\r\n" + filler + b"\r\n"),
+                max_header_bytes=256,
+            )
+
+        with pytest.raises(HttpError) as err:
+            self.run(scenario())
+        assert err.value.status == 413
+
+    def test_stalled_header_is_slow_client(self):
+        async def scenario():
+            reader = feed(b"GET / HTTP/1.1\r\n", eof=False)  # never finishes
+            return await read_request(reader, timeout=0.05)
+
+        with pytest.raises(SlowClientError):
+            self.run(scenario())
+
+    def test_stalled_body_is_slow_client(self):
+        async def scenario():
+            reader = feed(
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab", eof=False
+            )
+            return await read_request(reader, timeout=0.05)
+
+        with pytest.raises(SlowClientError):
+            self.run(scenario())
+
+
+class MemoryWriter:
+    """Just enough StreamWriter surface for write_response."""
+
+    def __init__(self, fail_after_writes: int | None = None) -> None:
+        self.buffer = bytearray()
+        self.writes = 0
+        self._fail_after = fail_after_writes
+
+    def write(self, data: bytes) -> None:
+        self.buffer += data
+        self.writes += 1
+
+    async def drain(self) -> None:
+        if self._fail_after is not None and self.writes > self._fail_after:
+            raise SlowClientError("stalled reader")
+
+
+class TestWriteResponse:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_content_length_framing(self):
+        writer = MemoryWriter()
+        sent = self.run(
+            write_response(
+                writer, Response(status=200, body=b"hello"), keep_alive=True
+            )
+        )
+        text = bytes(writer.buffer)
+        assert sent == 5
+        assert text.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 5\r\n" in text
+        assert b"Connection: keep-alive\r\n" in text
+        assert text.endswith(b"\r\n\r\nhello")
+
+    def test_chunked_framing_exact_bytes(self):
+        writer = MemoryWriter()
+        response = StreamingResponse(status=200, chunks=iter([b"abc", "defg", b""]))
+        sent = self.run(write_response(writer, response, keep_alive=False))
+        text = bytes(writer.buffer)
+        head, _, body = text.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        assert b"Connection: close" in head
+        # empty chunk skipped: it would otherwise terminate the stream early
+        assert body == b"3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n"
+        assert sent == 7
+
+    def test_head_only_suppresses_bodies(self):
+        writer = MemoryWriter()
+        sent = self.run(
+            write_response(
+                writer,
+                Response(status=200, body=b"hello"),
+                keep_alive=True,
+                head_only=True,
+            )
+        )
+        assert sent == 0
+        assert b"Content-Length: 5" in writer.buffer  # advertised, not sent
+        assert not bytes(writer.buffer).endswith(b"hello")
+
+    def test_aborted_stream_still_closes_generator(self):
+        closed = []
+
+        def chunks():
+            try:
+                while True:
+                    yield b"x" * 64
+            finally:
+                closed.append(True)
+
+        writer = MemoryWriter(fail_after_writes=3)
+        with pytest.raises(SlowClientError):
+            self.run(
+                write_response(
+                    writer,
+                    StreamingResponse(status=200, chunks=chunks()),
+                    keep_alive=True,
+                )
+            )
+        assert closed == [True]
+
+    def test_fully_consumed_stream_closes_generator_too(self):
+        closed = []
+
+        def chunks():
+            try:
+                yield b"done"
+            finally:
+                closed.append(True)
+
+        writer = MemoryWriter()
+        self.run(
+            write_response(
+                writer,
+                StreamingResponse(status=200, chunks=chunks()),
+                keep_alive=True,
+            )
+        )
+        assert closed == [True]
+
+
+class TestErrorRendering:
+    def test_render_head_unknown_status(self):
+        head = render_head(599, [], keep_alive=False)
+        assert head.startswith(b"HTTP/1.1 599 Unknown\r\n")
+
+    def test_error_response_carries_headers_and_detail(self):
+        response = error_response(
+            HttpError(429, "overloaded", headers=(("Retry-After", "7"),))
+        )
+        assert response.status == 429
+        assert response.body == b"overloaded\n"
+        assert ("Retry-After", "7") in response.headers

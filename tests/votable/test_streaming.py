@@ -1,0 +1,88 @@
+"""The incremental VOTable writer: chunking, identity, well-formedness."""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.votable.model import Field, VOTable
+from repro.votable.parser import parse_votable
+from repro.votable.writer import DEFAULT_ROWS_PER_CHUNK, iter_votable, write_votable
+
+
+def sample_table(rows: int = 10) -> VOTable:
+    table = VOTable(
+        [
+            Field("id", "char", ucd="meta.id"),
+            Field("flux", "double", unit="mJy"),
+            Field("n", "int"),
+        ],
+        name="sample",
+        params={"survey": "dss"},
+    )
+    for i in range(rows):
+        table.append({"id": f"obj<{i}>&'\"", "flux": 0.25 * i, "n": i})
+    return table
+
+
+class TestChunking:
+    @pytest.mark.parametrize("rows_per_chunk", [1, 3, 7, DEFAULT_ROWS_PER_CHUNK])
+    def test_joined_chunks_equal_write_votable(self, rows_per_chunk):
+        table = sample_table(20)
+        for namespaced in (True, False):
+            streamed = "".join(
+                iter_votable(
+                    table, namespaced=namespaced, rows_per_chunk=rows_per_chunk
+                )
+            )
+            assert streamed == write_votable(table, namespaced=namespaced)
+
+    def test_chunk_count_is_header_rows_footer(self):
+        table = sample_table(20)
+        chunks = list(iter_votable(table, rows_per_chunk=7))
+        assert len(chunks) == 2 + math.ceil(20 / 7)
+
+    def test_empty_table_is_two_chunks(self):
+        table = sample_table(0)
+        chunks = list(iter_votable(table))
+        assert len(chunks) == 2
+        assert "".join(chunks) == write_votable(table)
+
+    def test_rows_never_split_across_chunks(self):
+        table = sample_table(10)
+        for chunk in list(iter_votable(table, rows_per_chunk=3))[1:-1]:
+            assert chunk.count("<TR>") == chunk.count("</TR>")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            next(iter_votable(sample_table(1), rows_per_chunk=0))
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("rows", [0, 1, 17])
+    def test_streamed_output_is_parseable_xml(self, rows):
+        streamed = "".join(iter_votable(sample_table(rows)))
+        root = ET.fromstring(streamed)
+        assert root.tag.endswith("VOTABLE")
+
+    def test_streamed_output_roundtrips_through_parser(self):
+        table = sample_table(17)
+        parsed = parse_votable("".join(iter_votable(table)))
+        assert [f.name for f in parsed.fields] == [f.name for f in table.fields]
+        assert len(parsed) == len(table)
+        assert parsed.rows()[3][0] == table.rows()[3][0]
+
+    def test_escape_heavy_cells_survive(self):
+        table = VOTable([Field("s", "char")], name="esc")
+        nasty = 'a&b<c>d"e\tf'
+        table.append({"s": nasty})
+        parsed = parse_votable("".join(iter_votable(table)))
+        assert parsed.rows()[0][0] == nasty
+
+    def test_null_cells_render_as_empty_td(self):
+        table = VOTable([Field("x", "double")], name="nulls")
+        table.append({"x": None})
+        body = "".join(iter_votable(table))
+        assert "<TD />" in body
