@@ -30,6 +30,7 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -40,6 +41,7 @@ from repro.serve.harness import build_serving_stack  # noqa: E402
 from repro.serve.loadgen import (  # noqa: E402
     demo_cluster_targets,
     herd_scenario,
+    http_request,
     run_scenario,
     slow_client_scenario,
     steady_scenario,
@@ -53,6 +55,13 @@ TRAJECTORY = REPO_ROOT / "BENCH_serve.json"
 #: regression without flaking on a noisy machine.
 P99_CEILING_MS = 750.0
 THROUGHPUT_FLOOR_RPS = 40.0
+
+#: Observability-plane cost ceilings, as a fraction of no-plane throughput.
+#: The *disabled* plane is one ``is not None and .enabled`` test per
+#: request and must be effectively free; the enabled plane (tracing,
+#: windowed counters, flight recorder, access log) buys its keep under 5%.
+DISABLED_OVERHEAD_CEILING = 0.02
+ENABLED_OVERHEAD_CEILING = 0.05
 
 
 def _scenarios(quick: bool):
@@ -88,6 +97,111 @@ async def run_benchmark(quick: bool) -> list[dict]:
     return results
 
 
+async def _burst(host: str, port: int, requests: int, concurrency: int = 8) -> float:
+    """Drive ``requests`` GET /jobs at bounded concurrency; returns rps.
+
+    /jobs (the empty job listing) is deliberately the target: its handler
+    does identical work whether or not the plane exists, so the rps delta
+    isolates the per-request plane cost.  (/health and /metrics would not
+    do: their *payloads* grow when the plane is enabled.)
+    """
+    semaphore = asyncio.Semaphore(concurrency)
+
+    async def one(i: int) -> None:
+        async with semaphore:
+            status, _, _ = await http_request(
+                host,
+                port,
+                "GET",
+                "/jobs",
+                headers=[("X-Request-Id", f"bench-{i:06d}")],
+            )
+            assert status == 200, f"bench request got {status}"
+
+    started = time.monotonic()
+    await asyncio.gather(*(one(i) for i in range(requests)))
+    return requests / (time.monotonic() - started)
+
+
+async def measure_observability_overhead(quick: bool) -> dict:
+    """Steady-scenario cost of the plane, against a no-plane baseline.
+
+    Three stack configurations — no plane at all, plane wired but
+    disabled (the production-default shape), plane enabled — each serve
+    an identical steady open-loop scenario.  The gate is on delivered
+    throughput (can the tier still absorb its steady rate?); the per
+    configuration p50 is recorded alongside as the more sensitive
+    per-request-cost signal.  A saturated /jobs burst is also recorded,
+    informationally: at saturation, run-to-run scheduling noise on shared
+    runners exceeds the gate thresholds, so it is not gated.
+    """
+    scenario = (
+        steady_scenario(requests=160, rate=120.0)
+        if quick
+        else steady_scenario(requests=400, rate=150.0)
+    )
+    burst_requests = 200 if quick else 600
+    configs = {"none": False, "disabled": None, "enabled": True}
+    clusters = demo_cluster_targets()
+    steady: dict[str, dict] = {}
+    burst: dict[str, float] = {}
+    for name, flag in configs.items():
+        stack = build_serving_stack(runner="synthetic", port=0, observability=flag)
+        async with stack:
+            host, port = stack.server.host, stack.server.port
+            report = await run_scenario(host, port, scenario, clusters)
+            steady[name] = report.as_dict()
+            burst[name] = await _burst(host, port, burst_requests)
+    baseline = steady["none"]["throughput_rps"]
+    entry = {
+        "scenario": scenario.name,
+        "steady_rps": {
+            name: round(d["throughput_rps"], 1) for name, d in steady.items()
+        },
+        "steady_p50_ms": {
+            name: round(d["p50_ms"], 2) for name, d in steady.items()
+        },
+        "burst_rps": {name: round(rate, 1) for name, rate in burst.items()},
+        "disabled_overhead": round(
+            1.0 - steady["disabled"]["throughput_rps"] / baseline, 4
+        ),
+        "enabled_overhead": round(
+            1.0 - steady["enabled"]["throughput_rps"] / baseline, 4
+        ),
+        "gates": {
+            "disabled_ceiling": DISABLED_OVERHEAD_CEILING,
+            "enabled_ceiling": ENABLED_OVERHEAD_CEILING,
+        },
+    }
+    print(
+        f"observability-overhead: steady rps none "
+        f"{entry['steady_rps']['none']:.1f}, disabled "
+        f"{entry['steady_rps']['disabled']:.1f} "
+        f"({entry['disabled_overhead']:+.1%}), enabled "
+        f"{entry['steady_rps']['enabled']:.1f} "
+        f"({entry['enabled_overhead']:+.1%}); p50 ms "
+        f"{entry['steady_p50_ms']}"
+    )
+    return entry
+
+
+def check_overhead_gates(overhead: dict) -> list[str]:
+    problems = []
+    if overhead["disabled_overhead"] > DISABLED_OVERHEAD_CEILING:
+        problems.append(
+            f"observability-overhead: disabled plane costs "
+            f"{overhead['disabled_overhead']:.1%} of steady rps, ceiling "
+            f"{DISABLED_OVERHEAD_CEILING:.0%} — the no-op guard is not free"
+        )
+    if overhead["enabled_overhead"] > ENABLED_OVERHEAD_CEILING:
+        problems.append(
+            f"observability-overhead: enabled plane costs "
+            f"{overhead['enabled_overhead']:.1%} of steady rps, ceiling "
+            f"{ENABLED_OVERHEAD_CEILING:.0%}"
+        )
+    return problems
+
+
 def check_gates(results: list[dict]) -> list[str]:
     """Return a list of gate-violation messages (empty = all green)."""
     problems: list[str] = []
@@ -96,7 +210,8 @@ def check_gates(results: list[dict]) -> list[str]:
     for name, r in by_name.items():
         if r["failures"]:
             problems.append(
-                f"{name}: {r['failures']} failure(s) (5xx or transport), expected 0"
+                f"{name}: {r['failures']} failure(s) "
+                "(5xx, transport, or id echo), expected 0"
             )
 
     steady = by_name.get("steady-poisson")
@@ -137,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     results = asyncio.run(run_benchmark(quick=args.quick))
+    overhead = asyncio.run(measure_observability_overhead(quick=args.quick))
 
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
@@ -146,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
             "throughput_floor_rps": THROUGHPUT_FLOOR_RPS,
         },
         "scenarios": results,
+        "observability_overhead": overhead,
     }
     history = {"history": []}
     if TRAJECTORY.exists():
@@ -155,7 +272,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"trajectory -> {TRAJECTORY}")
 
     if args.check:
-        problems = check_gates(results)
+        problems = check_gates(results) + check_overhead_gates(overhead)
         if problems:
             for problem in problems:
                 print(f"FAIL: {problem}", file=sys.stderr)

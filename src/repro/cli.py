@@ -240,6 +240,15 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
         print("error: provide a trace JSONL file or --selftest", file=sys.stderr)
         return 2
     spans = load_trace_jsonl(args.trace_file)
+    if args.trace_id:
+        spans = [s for s in spans if s.get("trace") == args.trace_id]
+        if not spans:
+            print(
+                f"error: no spans with trace id {args.trace_id!r} in "
+                f"{args.trace_file}",
+                file=sys.stderr,
+            )
+            return 1
     print(render_report(spans, top=args.top), end="")
     return 0
 
@@ -289,6 +298,7 @@ def cmd_queue(args: argparse.Namespace) -> int:
     import json
 
     from repro.scheduler import JobJournal
+    from repro.scheduler.service import _wall_times
 
     state = JobJournal(args.journal).replay()
     if args.json:
@@ -302,6 +312,9 @@ def cmd_queue(args: argparse.Namespace) -> int:
                     **record.as_record(),
                     "cache_hit": record.cache_hit,
                     "error": record.error,
+                    # Wall-clock journal stamps: when the job was accepted,
+                    # started and finished, plus the queue wait they imply.
+                    **_wall_times(record),
                 }
                 for record in state.jobs.values()
             ],
@@ -398,6 +411,9 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
             port=args.port,
             max_workers=args.max_workers,
             slots_per_job=args.slots_per_job,
+            observability=True if args.observe else None,
+            access_log_path=args.access_log,
+            latency_target_s=args.latency_target,
         )
         async with stack:
             print(
@@ -405,7 +421,11 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
                 f"(journal: {args.journal or 'in-memory'}, runner: {args.runner}, "
                 f"{stack.manager.leases.total_slots} pool slots)"
             )
-            print("endpoints: /cone /sia /jobs /queue /health /metrics")
+            endpoints = "/cone /sia /jobs /queue /health /metrics"
+            if args.observe:
+                endpoints += " /debug/requests /debug/slo /debug/trace/{id}"
+                print(f"observability plane enabled; watch with: repro top --url {stack.server.url}")
+            print(f"endpoints: {endpoints}")
             if args.max_seconds is not None:
                 await asyncio.sleep(args.max_seconds)
             else:
@@ -467,10 +487,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump([r.as_dict() for r in reports], fh, indent=2, sort_keys=True)
         print(f"report -> {args.out}")
     failures = sum(len(r.failures) for r in reports)
+    mismatches = sum(len(r.id_mismatches) for r in reports)
     if failures:
-        print(f"error: {failures} request(s) failed (5xx or transport)", file=sys.stderr)
+        detail = "5xx, transport, or id echo" if mismatches else "5xx or transport"
+        print(f"error: {failures} request(s) failed ({detail})", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a serving tier's /debug surface."""
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=1 if args.once else args.count,
+            clear=not args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -545,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="exercise the report pipeline on an embedded reference trace",
     )
     tr.add_argument("--quiet", action="store_true", help="selftest: suppress the rendered report")
+    tr.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="only report spans of this trace (as returned in X-Trace-Id)",
+    )
     tr.set_defaults(fn=cmd_telemetry_report)
 
     p = sub.add_parser("dressler", help="Figure 7 analysis + ASCII overlay")
@@ -615,6 +656,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=float, default=None,
         help="shut down after this long (default: serve until Ctrl-C)",
     )
+    p.add_argument(
+        "--observe", action="store_true",
+        help="enable the live observability plane (/debug surface, tracing, SLO burn)",
+    )
+    p.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append a JSONL access-log line per request (implies nothing unless --observe)",
+    )
+    p.add_argument(
+        "--latency-target", type=float, default=0.5, metavar="SECONDS",
+        help="p-latency SLO threshold for the burn tracker (default 0.5s)",
+    )
     p.set_defaults(fn=cmd_serve_http)
 
     p = sub.add_parser(
@@ -637,6 +690,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2003, help="arrival-schedule seed")
     p.add_argument("--out", default=None, metavar="PATH", help="write the JSON report here")
     p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top",
+        help="live ANSI dashboard over a serving tier's /debug surface",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of a tier started with repro serve-http --observe",
+    )
+    p.add_argument("--interval", type=float, default=2.0, help="refresh period, seconds")
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame without clearing the screen, then exit",
+    )
+    p.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="exit after N frames (default: run until Ctrl-C)",
+    )
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser(
         "chaos",

@@ -113,6 +113,10 @@ class JobRecord:
     #: re-dispatched (transient-failure backoff); ``None`` = immediately.
     not_before: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
+    #: the submitting request's trace context (when the observability plane
+    #: is on): dispatch re-attaches it so executor spans join the HTTP
+    #: request's trace.  Process-local; never journaled.
+    trace_ctx: Any = field(default=None, repr=False, compare=False)
 
     # -- timing -----------------------------------------------------------------
     @property

@@ -126,6 +126,8 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
             if record.job_id in state.jobs:
                 raise SchedulerError(f"journal re-submits job {record.job_id!r}")
             record.state = JobState.QUEUED
+            if "ts" in line:
+                record.extra["submitted_ts"] = line["ts"]
             state.jobs[record.job_id] = record
             state.max_seq = max(state.max_seq, record.seq)
         elif event in ("start", "complete", "fail", "cancel", "requeue"):
@@ -142,10 +144,12 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
             elif event == "start":
                 record.state = JobState.RUNNING
                 record.started_at = line.get("started_at", line["ts"])
+                record.extra["started_ts"] = line["ts"]
                 record.attempts += 1
             elif event == "complete":
                 record.state = JobState.COMPLETED
                 record.finished_at = line.get("finished_at", line["ts"])
+                record.extra["finished_ts"] = line["ts"]
                 record.cache_hit = bool(line.get("cache_hit", False))
                 record.result_lfn = line.get("result_lfn", "")
                 cost = float(line.get("cost", 0.0))
@@ -154,10 +158,12 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
             elif event == "fail":
                 record.state = JobState.FAILED
                 record.finished_at = line.get("finished_at", line["ts"])
+                record.extra["finished_ts"] = line["ts"]
                 record.error = line.get("error", "")
             else:  # cancel
                 record.state = JobState.CANCELLED
                 record.finished_at = line.get("finished_at", line["ts"])
+                record.extra["finished_ts"] = line["ts"]
         elif event == "rescue":
             signature = line["signature"]
             nodes = set(line.get("nodes", ()))

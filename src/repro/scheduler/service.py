@@ -42,6 +42,25 @@ from repro.scheduler.leases import SlotLeaseManager
 from repro.scheduler.policy import AdmissionPolicy, FairShareScheduler
 from repro.scheduler.runner import JobFailure, JobOutcome, JobRunner, PortalJobRunner
 from repro.resilience.retry import RetryPolicy
+from repro.telemetry.tracing import CURRENT_SPAN
+
+
+def _wall_times(record: JobRecord) -> dict[str, Any]:
+    """Wall-clock event times stamped from journal lines (``None`` until the
+    event happened).  ``wait_s`` is submit→dispatch from those wall times —
+    computable without a journal replay, per the queue-latency dashboards."""
+    submitted = record.extra.get("submitted_ts")
+    started = record.extra.get("started_ts")
+    finished = record.extra.get("finished_ts")
+    wait = None
+    if submitted is not None and started is not None:
+        wait = round(max(0.0, started - submitted), 6)
+    return {
+        "submitted_ts": submitted,
+        "started_ts": started,
+        "finished_ts": finished,
+        "wait_s": wait,
+    }
 
 
 class WorkloadManager:
@@ -204,7 +223,10 @@ class WorkloadManager:
                 for r in self._jobs.values()
                 if r.spec.user == user and not r.terminal
             )
-            self.admission.admit(user, len(self._queue), active)
+            with telemetry.trace_span(
+                "scheduler.admission", user=user, queue=len(self._queue)
+            ):
+                self.admission.admit(user, len(self._queue), active)
             # The id is minted from the journal-global sequence number (not a
             # per-process counter) so spool-then-serve across processes never
             # collides; the suffix ties it visibly to its derivation.
@@ -218,7 +240,14 @@ class WorkloadManager:
             self._seq += 1
             self._jobs[record.job_id] = record
             self._queue.append(record.job_id)
-            self.journal.append("submit", job=record.as_record())
+            with telemetry.trace_span(
+                "scheduler.journal", event="submit", job_id=record.job_id
+            ):
+                line = self.journal.append("submit", job=record.as_record())
+            record.extra["submitted_ts"] = line["ts"]
+            # Tie the queued job back to the submitting request's trace, so
+            # the span the worker thread opens later joins the same trace.
+            record.trace_ctx = telemetry.capture_context()
             self._publish_gauges_locked()
             self._cond.notify_all()
         telemetry.count("scheduler_submissions_total", user=user)
@@ -233,7 +262,8 @@ class WorkloadManager:
             record.state = JobState.CANCELLED
             record.finished_at = self._clock()
             self._queue.remove(job_id)
-            self.journal.append("cancel", job_id=job_id)
+            line = self.journal.append("cancel", job_id=job_id)
+            record.extra["finished_ts"] = line["ts"]
             telemetry.count("scheduler_jobs_total", state="cancelled")
             self._publish_gauges_locked()
             self._cond.notify_all()
@@ -304,11 +334,13 @@ class WorkloadManager:
         """JSON-ready queue state (the ``repro queue`` verb renders this)."""
         with self._cond:
             jobs = sorted(self._jobs.values(), key=lambda r: r.seq)
+            users = {r.spec.user for r in self._jobs.values()}
             return {
                 "queued": len(self._queue),
                 "running": self._running,
                 "slots_in_use": self.leases.in_use(),
                 "slots_total": self.leases.total_slots,
+                "fair_share": self.scheduler.debts(users),
                 "jobs": [
                     {
                         **r.as_record(),
@@ -316,6 +348,7 @@ class WorkloadManager:
                         "wait_seconds": r.wait_seconds,
                         "run_seconds": r.run_seconds,
                         "error": r.error,
+                        **_wall_times(r),
                     }
                     for r in jobs
                 ],
@@ -365,7 +398,8 @@ class WorkloadManager:
                 record.state = JobState.RUNNING
                 record.started_at = self._clock()
                 record.attempts += 1
-                self.journal.append("start", job_id=record.job_id)
+                line = self.journal.append("start", job_id=record.job_id)
+                record.extra["started_ts"] = line["ts"]
                 self._publish_gauges_locked()
                 pool = self._pool
             wait = record.wait_seconds
@@ -376,7 +410,20 @@ class WorkloadManager:
 
     # -- the job body (worker threads) ---------------------------------------------
     def _run_job(self, record: JobRecord, lease: Any) -> None:
-        signature = record.signature
+        # Re-attach the submitting request's trace (observability plane):
+        # the job span — and everything the runner opens beneath it —
+        # then shares the HTTP request's trace id.
+        ctx = record.trace_ctx
+        token = (
+            CURRENT_SPAN.set((ctx.trace_id, ctx.span_id)) if ctx is not None else None
+        )
+        try:
+            self._run_job_traced(record, lease, record.signature)
+        finally:
+            if token is not None:
+                CURRENT_SPAN.reset(token)
+
+    def _run_job_traced(self, record: JobRecord, lease: Any, signature: str) -> None:
         outcome: JobOutcome | None = None
         failure: BaseException | None = None
         cache_hit = False
@@ -385,6 +432,7 @@ class WorkloadManager:
             user=record.spec.user,
             cluster=record.spec.cluster,
             signature=signature,
+            job_id=record.job_id,
         ) as span:
             try:
                 cached = self.cache.lookup(signature) if self.cache is not None else None
@@ -442,13 +490,14 @@ class WorkloadManager:
                         0.0 if cache_hit else (record.run_seconds or 0.0) * lease.slots
                     )
                     self.scheduler.charge(record.spec.user, cost)
-                    self.journal.append(
+                    line = self.journal.append(
                         "complete",
                         job_id=record.job_id,
                         cache_hit=cache_hit,
                         result_lfn=record.result_lfn,
                         cost=cost,
                     )
+                    record.extra["finished_ts"] = line["ts"]
                     telemetry.count("scheduler_jobs_total", state="completed")
                 else:
                     assert failure is not None
@@ -495,9 +544,10 @@ class WorkloadManager:
                         )
                     else:
                         record.state = JobState.FAILED
-                        self.journal.append(
+                        line = self.journal.append(
                             "fail", job_id=record.job_id, error=record.error
                         )
+                        record.extra["finished_ts"] = line["ts"]
                         telemetry.count("scheduler_jobs_total", state="failed")
             finally:
                 # Queue accounting must survive any journaling/caching error,

@@ -15,12 +15,16 @@ is its network tier, built entirely on the standard library:
 * :mod:`repro.serve.loadgen` — the open-loop load generator (Poisson
   arrivals, tenant mixes, thundering-herd and slow-client scenarios)
   behind ``repro loadgen`` and the SLO benchmarks;
+* :mod:`repro.serve.observability` — the live observability plane:
+  request tracing across the HTTP boundary, windowed rates, flight
+  recorder, SLO burn tracking and the ``/debug`` surface;
 * :mod:`repro.serve.harness` — one-call wiring of the whole stack.
 """
 
 from repro.serve.app import ServeApp, TenantGate
 from repro.serve.bridge import WorkerBridge
 from repro.serve.harness import ServingStack, SyntheticJobRunner, build_serving_stack
+from repro.serve.observability import ObservabilityPlane
 from repro.serve.http import (
     HttpError,
     HttpRequest,
@@ -44,6 +48,7 @@ from repro.serve.server import PortalHttpServer
 __all__ = [
     "HttpError",
     "HttpRequest",
+    "ObservabilityPlane",
     "PortalHttpServer",
     "Response",
     "SCENARIOS",

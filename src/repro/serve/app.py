@@ -43,6 +43,7 @@ from repro.serve.http import (
     Response,
     StreamingResponse,
 )
+from repro.serve.observability import ObservabilityPlane
 from repro.services.protocol import ConeSearchRequest, SIARequest
 from repro.votable.model import VOTable
 from repro.votable.writer import iter_votable
@@ -180,6 +181,7 @@ class ServeApp:
         *,
         bridge: WorkerBridge | None = None,
         gate: TenantGate | None = None,
+        plane: ObservabilityPlane | None = None,
     ) -> None:
         self.env = env
         self.manager = manager
@@ -191,6 +193,11 @@ class ServeApp:
                 total=admission.max_queue_depth,
             )
         self.gate = gate
+        self.plane = plane
+
+    @property
+    def plane_active(self) -> bool:
+        return self.plane is not None and self.plane.enabled
 
     # -- admission ------------------------------------------------------------
     @staticmethod
@@ -205,11 +212,13 @@ class ServeApp:
     def _shed(self, reason: str, retry_after: int | None = None) -> HttpError:
         telemetry.count("serve_shed_total", reason=reason)
         seconds = self.retry_after() if retry_after is None else retry_after
-        return HttpError(
+        error = HttpError(
             429,
             f"overloaded ({reason}); retry after {seconds}s",
             headers=(("Retry-After", str(seconds)),),
         )
+        error.shed_reason = reason
+        return error
 
     # -- metrics labels --------------------------------------------------------
     @staticmethod
@@ -223,6 +232,8 @@ class ServeApp:
             return "jobs.status"
         if path in ("/cone", "/sia", "/health", "/metrics", "/queue"):
             return path[1:]
+        if path.startswith("/debug/"):
+            return "debug"
         return "unmatched"
 
     # -- dispatch --------------------------------------------------------------
@@ -267,6 +278,8 @@ class ServeApp:
             return _json_response({"jobs": [_job_json(r) for r in records]})
         if path.startswith("/jobs/"):
             return await self._job(request, method, path)
+        if path.startswith("/debug/"):
+            return await self._debug(request, method, path)
         raise HttpError(404, f"no route for {path}")
 
     @staticmethod
@@ -281,22 +294,67 @@ class ServeApp:
     # -- endpoints ----------------------------------------------------------------
     async def _health(self, method: str) -> Response:
         self._require(method, "GET", "HEAD")
-        return _json_response(
-            {
-                "status": "ok",
-                "queued": self.manager.queue_depth(),
-                "running": self.manager.running_jobs(),
-                "inflight": self.gate.inflight(),
-            }
-        )
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "queued": self.manager.queue_depth(),
+            "running": self.manager.running_jobs(),
+            "inflight": self.gate.inflight(),
+        }
+        health = getattr(self.env, "health", None)
+        if health is not None:
+            payload["sites"] = health.states()
+        if self.plane_active:
+            slo = self.plane.slo_snapshot()
+            payload["slo"] = slo
+            if slo["state"] != "ok":
+                payload["status"] = "degraded"
+        return _json_response(payload)
 
     def _metrics(self, method: str) -> Response:
         self._require(method, "GET", "HEAD")
+        if self.plane_active:
+            self.plane.publish_gauges()
         return Response(
             status=200,
             body=telemetry.prometheus_text().encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
+
+    # -- debug surface -----------------------------------------------------------
+    async def _debug(
+        self, request: HttpRequest, method: str, path: str
+    ) -> Response:
+        if not self.plane_active:
+            raise HttpError(404, "observability plane is not enabled")
+        plane = self.plane
+        if path == "/debug/requests":
+            self._require(method, "GET")
+            return _json_response(plane.requests_snapshot())
+        if path == "/debug/slo":
+            self._require(method, "GET")
+            return _json_response(plane.slo_snapshot())
+        if path.startswith("/debug/trace/"):
+            self._require(method, "GET")
+            trace_id = path[len("/debug/trace/") :]
+            entry = plane.trace_snapshot(trace_id)
+            if entry is None:
+                raise HttpError(404, f"no retained trace {trace_id!r}")
+            return _json_response(entry)
+        if path == "/debug/flight/dump":
+            self._require(method, "POST")
+            try:
+                payload = json.loads(request.body or b"{}")
+            except json.JSONDecodeError as exc:
+                raise HttpError(400, f"malformed JSON body: {exc}") from exc
+            target = payload.get("path") if isinstance(payload, dict) else None
+            if not target or not isinstance(target, str):
+                raise HttpError(400, "body requires a 'path' string")
+            try:
+                count = await self.bridge.call(plane.dump_flight, target)
+            except OSError as exc:
+                raise HttpError(400, f"cannot write dump: {exc}") from exc
+            return _json_response({"path": target, "traces": count})
+        raise HttpError(404, f"no route for {path}")
 
     def _stream_table(self, table: VOTable) -> StreamingResponse:
         return StreamingResponse(

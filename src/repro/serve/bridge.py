@@ -12,6 +12,7 @@ tier will take on at once (the asyncio side queues behind it).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, TypeVar
@@ -29,12 +30,18 @@ class WorkerBridge:
         self._closed = False
 
     async def call(self, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
-        """Await ``fn(*args, **kwargs)`` executed on the bridge pool."""
+        """Await ``fn(*args, **kwargs)`` executed on the bridge pool.
+
+        The caller's :mod:`contextvars` context rides along, so spans
+        opened on the pool thread parent to the HTTP request's
+        ``serve.request`` span instead of starting orphan traces.
+        """
         if self._closed:
             raise RuntimeError("worker bridge is closed")
         loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
         return await loop.run_in_executor(
-            self._executor, functools.partial(fn, *args, **kwargs)
+            self._executor, functools.partial(ctx.run, fn, *args, **kwargs)
         )
 
     def close(self, wait: bool = True) -> None:

@@ -24,6 +24,7 @@ from repro.scheduler.job import JobSpec
 from repro.scheduler.runner import JobOutcome, PortalJobRunner
 from repro.scheduler.service import WorkloadManager
 from repro.serve.app import ServeApp
+from repro.serve.observability import ObservabilityPlane
 from repro.serve.server import PortalHttpServer
 from repro.votable.model import Field, VOTable
 from repro.votable.writer import write_votable
@@ -78,9 +79,13 @@ class ServingStack:
     manager: WorkloadManager
     app: ServeApp
     server: PortalHttpServer
+    plane: ObservabilityPlane | None = None
+    enable_plane: bool = False
     _started: bool = dataclass_field(default=False, repr=False)
 
     async def start(self) -> None:
+        if self.plane is not None and self.enable_plane:
+            self.plane.enable()
         self.manager.start()
         await self.server.start()
         self._started = True
@@ -90,6 +95,8 @@ class ServingStack:
         await self.server.close(grace=grace)
         self.app.bridge.close()
         self.manager.stop()
+        if self.plane is not None:
+            self.plane.close()
         self._started = False
 
     async def __aenter__(self) -> "ServingStack":
@@ -109,6 +116,9 @@ def build_serving_stack(
     port: int = 0,
     max_workers: int = 4,
     slots_per_job: int = 4,
+    observability: bool | None = None,
+    access_log_path: str | None = None,
+    latency_target_s: float = 0.5,
     **server_options: object,
 ) -> ServingStack:
     """Build (but do not start) a complete serving stack.
@@ -116,6 +126,14 @@ def build_serving_stack(
     ``runner="synthetic"`` still builds the demonstration environment —
     the Cone/SIA endpoints always serve real synthetic-sky queries — but
     swaps the job body for :class:`SyntheticJobRunner`.
+
+    ``observability`` selects the plane configuration:
+
+    * ``True`` — plane wired and enabled at :meth:`ServingStack.start`
+      (turns telemetry on for span collection);
+    * ``None`` (default) — plane wired but left disabled: the production
+      shape, paying only the per-request guard test;
+    * ``False`` — no plane object at all (the bench's no-plane baseline).
     """
     env = (
         build_demo_environment(clusters=clusters)
@@ -139,6 +157,20 @@ def build_serving_stack(
         )
     else:
         raise ValueError(f"unknown runner {runner!r}; expected 'portal' or 'synthetic'")
-    app = ServeApp(env, manager)
+    plane = (
+        None
+        if observability is False
+        else ObservabilityPlane(
+            access_log_path=access_log_path, latency_target_s=latency_target_s
+        )
+    )
+    app = ServeApp(env, manager, plane=plane)
     server = PortalHttpServer(app, host=host, port=port, **server_options)  # type: ignore[arg-type]
-    return ServingStack(env=env, manager=manager, app=app, server=server)
+    return ServingStack(
+        env=env,
+        manager=manager,
+        app=app,
+        server=server,
+        plane=plane,
+        enable_plane=bool(observability),
+    )

@@ -198,6 +198,9 @@ class RequestOutcome:
     received: int
     slow: bool
     error: str = ""
+    #: the server echoed back a different ``X-Request-Id`` than was sent —
+    #: a protocol-contract violation counted as its own failure class.
+    id_mismatch: bool = False
 
 
 def percentile(sorted_samples: Sequence[float], q: float) -> float:
@@ -230,17 +233,26 @@ class ScenarioReport:
 
     @property
     def failures(self) -> list[RequestOutcome]:
-        """Server faults and transport failures.
+        """Server faults, transport failures and request-id violations.
 
         4xx client errors are not failures, and neither is 503: this tier
         only emits 503 as deliberate connection-flood shedding (with
-        ``Retry-After``), which :attr:`shed` accounts for.
+        ``Retry-After``), which :attr:`shed` accounts for.  A response
+        that echoed the wrong ``X-Request-Id`` is a failure even when its
+        status was healthy — the body cannot be trusted to belong to the
+        request.
         """
         return [
             o
             for o in self.outcomes
-            if o.status == 0 or (o.status >= 500 and o.status != 503)
+            if o.status == 0
+            or (o.status >= 500 and o.status != 503)
+            or o.id_mismatch
         ]
+
+    @property
+    def id_mismatches(self) -> list[RequestOutcome]:
+        return [o for o in self.outcomes if o.id_mismatch]
 
     def latencies_ms(self, include_slow: bool = False) -> list[float]:
         """Sorted completion latencies of well-behaved successful requests.
@@ -269,6 +281,7 @@ class ScenarioReport:
             "completed": completed,
             "shed": shed,
             "failures": failures,
+            "id_mismatches": len(self.id_mismatches),
             "shed_rate": shed / n if n else 0.0,
             "failure_rate": failures / n if n else 0.0,
             "throughput_rps": completed / self.wall_seconds if self.wall_seconds else 0.0,
@@ -317,6 +330,7 @@ class _PlannedRequest:
     target: str
     body: bytes
     slow: bool
+    request_id: str = ""
 
 
 def plan_requests(
@@ -368,6 +382,9 @@ def plan_requests(
                 target=target,
                 body=body,
                 slow=slow,
+                # Deterministic per-request id; the server must echo it
+                # back verbatim (asserted per response in ``_fire``).
+                request_id=f"lg{scenario.seed:x}-{i:05d}",
             )
         )
     return planned
@@ -379,11 +396,13 @@ async def _fire(
     loop = asyncio.get_running_loop()
     await asyncio.sleep(max(0.0, t0 + plan.at - loop.time()))
     headers = [("X-Tenant", plan.tenant)]
+    if plan.request_id:
+        headers.append(("X-Request-Id", plan.request_id))
     if plan.body:
         headers.append(("Content-Type", "application/json"))
     started = time.monotonic()
     try:
-        status, _, body = await http_request(
+        status, resp_headers, body = await http_request(
             host,
             port,
             plan.method,
@@ -393,6 +412,15 @@ async def _fire(
             read_delay=delay if plan.slow else 0.0,
             timeout=timeout,
         )
+        # The id echo contract holds on every parsed response except the
+        # raw connection-flood 503, which is written before any request
+        # headers are read.
+        echoed = resp_headers.get("x-request-id")
+        mismatch = bool(plan.request_id) and (
+            echoed != plan.request_id
+            if echoed is not None
+            else status != 503
+        )
         return RequestOutcome(
             kind=plan.kind,
             tenant=plan.tenant,
@@ -400,6 +428,7 @@ async def _fire(
             latency=time.monotonic() - started,
             received=len(body),
             slow=plan.slow,
+            id_mismatch=mismatch,
         )
     except Exception as exc:  # noqa: BLE001 - a dead request is data, not a crash
         return RequestOutcome(

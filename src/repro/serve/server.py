@@ -38,6 +38,13 @@ from repro.serve.http import (
     render_head,
     write_response,
 )
+from repro.serve.observability import (
+    REQUEST_ID_HEADER,
+    TRACE_ID_HEADER,
+    request_id_of,
+    trace_context_of,
+)
+from repro.telemetry import tracing
 
 #: Keep the kernel-side write buffer small so ``drain()`` exerts real
 #: backpressure and slow readers hit the write deadline.
@@ -138,6 +145,9 @@ class PortalHttpServer:
         try:
             if len(self._handlers) > self.max_connections or self._closed:
                 telemetry.count("serve_shed_total", reason="connection-flood")
+                plane = self.app.plane
+                if plane is not None and plane.enabled:
+                    plane.record_flood()
                 writer.write(
                     render_head(
                         503,
@@ -161,6 +171,17 @@ class PortalHttpServer:
                         route="unparsed",
                         status=str(error.status),
                     )
+                    plane = self.app.plane
+                    if plane is not None and plane.enabled:
+                        plane.end(
+                            trace_id="",
+                            request_id="",
+                            method="",
+                            path="",
+                            route="unparsed",
+                            tenant="unknown",
+                            status=error.status,
+                        )
                     await write_response(
                         writer,
                         error_response(error),
@@ -202,9 +223,36 @@ class PortalHttpServer:
     ) -> bool:
         """Dispatch + write one request; returns False to drop the connection."""
         route = self.app.route_label(request.method, request.path)
+        method, path = request.method, request.path
+        tenant = self.app.tenant_of(request)
+        # The request id is echoed unconditionally — it is the cheap half of
+        # the contract (loadgen asserts the echo on every response); the
+        # full plane below is the guarded half.
+        request_id = request_id_of(request)
+        plane = self.app.plane
+        active = plane is not None and plane.enabled and telemetry.enabled()
+        trace_id = ""
+        span = None
+        token = None
+        if active:
+            trace_id, parent_span = trace_context_of(request)
+            token = tracing.set_current((trace_id, parent_span))
+            plane.begin(trace_id)
+            span = telemetry.trace_span(
+                "serve.request",
+                method=method,
+                route=route,
+                path=path,
+                tenant=tenant,
+                request_id=request_id,
+            )
+            span.__enter__()
         started = time.monotonic()
         keep_alive = request.keep_alive
         status = 500
+        bytes_sent = 0
+        shed_reason = ""
+        error_name = ""
         try:
             head_only = request.method == "HEAD"
             if head_only:
@@ -220,9 +268,14 @@ class PortalHttpServer:
             try:
                 response: Response | StreamingResponse = await self.app.handle(request)
             except HttpError as error:
+                shed_reason = getattr(error, "shed_reason", "")
                 response = error_response(error)
             status = response.status
-            await write_response(
+            extra = ((REQUEST_ID_HEADER, request_id),)
+            if active:
+                extra += ((TRACE_ID_HEADER, trace_id),)
+            response.headers = tuple(response.headers) + extra
+            bytes_sent = await write_response(
                 writer,
                 response,
                 keep_alive=keep_alive,
@@ -239,19 +292,46 @@ class PortalHttpServer:
             return False
         except Exception as exc:  # noqa: BLE001 - handler bugs must not kill the tier
             telemetry.count("serve_errors_total", error=type(exc).__name__)
+            error_name = type(exc).__name__
             status = 500
             with contextlib.suppress(Exception):
                 await write_response(
                     writer,
-                    Response(status=500, body=b"internal server error\n"),
+                    Response(
+                        status=500,
+                        body=b"internal server error\n",
+                        headers=((REQUEST_ID_HEADER, request_id),),
+                    ),
                     keep_alive=False,
                     write_timeout=self.write_timeout,
                 )
             return False
         finally:
+            duration = time.monotonic() - started
             telemetry.count(
                 "serve_requests_total", route=route, status=str(status)
             )
-            telemetry.observe(
-                "serve_request_seconds", time.monotonic() - started, route=route
-            )
+            telemetry.observe("serve_request_seconds", duration, route=route)
+            if span is not None:
+                span.set(status=status, bytes=bytes_sent)
+                if shed_reason:
+                    span.set(shed=shed_reason)
+                if error_name or status >= 500 or status == 0:
+                    span.status = "error"
+                span.__exit__(None, None, None)
+            if token is not None:
+                tracing.CURRENT_SPAN.reset(token)
+            if active:
+                plane.end(
+                    trace_id=trace_id,
+                    request_id=request_id,
+                    method=method,
+                    path=path,
+                    route=route,
+                    tenant=tenant,
+                    status=status,
+                    shed_reason=shed_reason,
+                    bytes_sent=bytes_sent,
+                    duration_s=duration,
+                    error=error_name,
+                )

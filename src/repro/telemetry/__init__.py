@@ -30,6 +30,7 @@ import threading
 from typing import Any, Callable, TypeVar
 
 from repro.telemetry.exporters import parse_prometheus_text, to_json, to_prometheus_text
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -37,6 +38,8 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.slo import SLOTracker
+from repro.telemetry.timeseries import LabelledWindows, LatencyWindow, WindowedCounter
 from repro.telemetry.tracing import (
     CURRENT_SPAN,
     SpanRecord,
@@ -74,6 +77,11 @@ __all__ = [
     "load_trace_jsonl",
     "parse_trace_jsonl",
     "parse_prometheus_text",
+    "FlightRecorder",
+    "SLOTracker",
+    "WindowedCounter",
+    "LatencyWindow",
+    "LabelledWindows",
 ]
 
 T = TypeVar("T")

@@ -162,7 +162,7 @@ class Histogram(_Metric):
         for c in counts:
             running += c
             cumulative.append(running)
-        return {
+        snap = {
             "buckets": {
                 **{str(b): cumulative[i] for i, b in enumerate(self.buckets)},
                 "+Inf": cumulative[-1],
@@ -170,6 +170,25 @@ class Histogram(_Metric):
             "sum": total,
             "count": n,
         }
+        for q in (50, 95, 99):
+            snap[f"p{q}"] = self._bucket_quantile(cumulative, n, q)
+        return snap
+
+    def _bucket_quantile(self, cumulative: list[int], n: int, q: float) -> float | None:
+        """Nearest-rank quantile estimate from cumulative bucket counts.
+
+        Returns the upper bound of the bucket holding the rank — an upper
+        estimate, exact only up to bucket resolution.  Samples landing in
+        the ``+Inf`` overflow clamp to the largest finite bound so the
+        result stays JSON-serialisable.
+        """
+        if n == 0:
+            return None
+        rank = max(1, -(-n * q // 100))  # ceil(n*q/100)
+        for i, bound in enumerate(self.buckets):
+            if cumulative[i] >= rank:
+                return bound
+        return self.buckets[-1]
 
     def series_keys(self) -> list[LabelKey]:
         with self._lock:

@@ -29,8 +29,9 @@ import os
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 __all__ = [
     "SpanRecord",
@@ -100,9 +101,12 @@ class Tracer:
     tagged with their origin pid; their *durations* remain meaningful.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: int | None = None) -> None:
         self._lock = threading.Lock()
-        self._records: list[SpanRecord] = []
+        self._records: list[SpanRecord] | deque[SpanRecord] = (
+            list() if max_spans is None else deque(maxlen=max_spans)
+        )
+        self._listeners: list[Callable[[SpanRecord], None]] = []
         self.epoch_wall = time.time()
         self._epoch = time.perf_counter()
 
@@ -115,6 +119,9 @@ class Tracer:
     def add(self, record: SpanRecord) -> SpanRecord:
         with self._lock:
             self._records.append(record)
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(record)
         return record
 
     def ingest(self, records: Iterable[SpanRecord]) -> int:
@@ -123,7 +130,27 @@ class Tracer:
         batch = list(records)
         with self._lock:
             self._records.extend(batch)
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            for record in batch:
+                listener(record)
         return len(batch)
+
+    def subscribe(self, listener: Callable[[SpanRecord], None]) -> Callable[[], None]:
+        """Call ``listener`` for every span as it lands; returns an
+        unsubscribe callable.  Listeners run outside the tracer lock and
+        must not raise — the flight recorder is the intended consumer."""
+        with self._lock:
+            self._listeners.append(listener)
+
+        def _unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._listeners.remove(listener)
+                except ValueError:
+                    pass
+
+        return _unsubscribe
 
     def spans(self) -> list[SpanRecord]:
         """Snapshot of all finished spans, in completion order."""

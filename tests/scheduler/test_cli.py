@@ -144,3 +144,69 @@ class TestQueueJson:
         assert payload["jobs"] == []
         assert payload["counts"] == {}
         assert payload["drained"] is True
+
+    def test_json_carries_journal_wall_times(self, tmp_path, capsys):
+        import json
+
+        journal = str(tmp_path / "journal.jsonl")
+        assert main(["submit", "alice", "A3526", "--journal", journal]) == 0
+        capsys.readouterr()
+
+        assert main(["queue", "--json", "--journal", journal]) == 0
+        (job,) = json.loads(capsys.readouterr().out)["jobs"]
+        # A queued job has its submit stamp but no start/finish/wait yet.
+        assert isinstance(job["submitted_ts"], float)
+        assert job["started_ts"] is None
+        assert job["finished_ts"] is None
+        assert job["wait_s"] is None
+
+    def test_json_wait_seconds_after_drain(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        clusters = [tiny("CLI-W", ra=40.0)]
+        monkeypatch.setattr(
+            cli,
+            "_env",
+            lambda *a, **k: build_demo_environment(
+                clusters=clusters, seed_virtual_data_reuse=False
+            ),
+        )
+        journal = str(tmp_path / "journal.jsonl")
+        main(["submit", "alice", "CLI-W", "--journal", journal])
+        assert main(["serve", "--journal", journal, "--timeout", "300"]) == 0
+        capsys.readouterr()
+
+        assert main(["queue", "--json", "--journal", journal]) == 0
+        (job,) = json.loads(capsys.readouterr().out)["jobs"]
+        assert job["state"] == "completed"
+        assert job["submitted_ts"] <= job["started_ts"] <= job["finished_ts"]
+        assert job["wait_s"] >= 0.0
+
+
+class TestTelemetryReportTraceFilter:
+    def _write_trace(self, path):
+        import json
+
+        from repro.telemetry.tracing import make_record
+
+        spans = [
+            make_record("serve.request", "t-one", "s1", None, 0.0, 1.0),
+            make_record("scheduler.job", "t-one", "s2", "s1", 0.2, 0.9),
+            make_record("serve.request", "t-two", "s3", None, 0.0, 0.5),
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span) + "\n")
+
+    def test_filters_to_one_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        self._write_trace(trace)
+        assert main(["telemetry", "report", trace, "--trace-id", "t-one"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out and "scheduler.job" in out
+
+    def test_unknown_trace_id_fails(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        self._write_trace(trace)
+        assert main(["telemetry", "report", trace, "--trace-id", "nope"]) == 1
+        assert "no spans with trace id" in capsys.readouterr().err

@@ -70,3 +70,13 @@ def run_with_server(
 @pytest.fixture()
 def cluster() -> ClusterModel:
     return tiny_cluster()
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_reset():
+    """Observability-enabled stacks turn the telemetry runtime on globally
+    (``plane.enable()``); make sure no test leaks that into the next."""
+    yield
+    from repro import telemetry
+
+    telemetry.disable()

@@ -151,6 +151,41 @@ class TestScenarioReport:
         assert "\n" not in report.summary()
         assert "steady-poisson" in report.summary()
 
+    def test_id_mismatch_is_its_own_failure_class(self):
+        bad = RequestOutcome(
+            kind="cone", tenant="alice", status=200, latency=0.01,
+            received=100, slow=False, id_mismatch=True,
+        )
+        report = self.make([outcome(200), bad])
+        d = report.as_dict()
+        # A healthy status with the wrong echoed id still fails the run.
+        assert d["id_mismatches"] == 1
+        assert d["failures"] == 1
+        assert report.failures == [bad]
+
+
+class TestRequestIdEcho:
+    def test_planned_requests_carry_deterministic_ids(self):
+        plans = plan_requests(steady_scenario(requests=5, seed=0x2003), CLUSTERS)
+        assert [p.request_id for p in plans] == [
+            f"lg2003-{i:05d}" for i in range(5)
+        ]
+
+    def test_live_run_asserts_the_echo(self):
+        scenario = steady_scenario(requests=20, rate=200.0, seed=6)
+
+        async def drive(stack, host, port):
+            report = await run_scenario(host, port, scenario, CLUSTERS)
+            assert report.as_dict()["id_mismatches"] == 0
+            assert report.failures == []
+            # drain queued submits so teardown is quick
+            deadline = asyncio.get_running_loop().time() + 30
+            while stack.manager.queue_depth() or stack.manager.running_jobs():
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.05)
+
+        run_with_server(drive)
+
 
 class TestEndToEnd:
     def test_small_open_loop_run_has_no_failures(self):

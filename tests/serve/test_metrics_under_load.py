@@ -1,0 +1,84 @@
+"""Scraping ``/metrics`` while the tier is under concurrent load.
+
+A scrape racing a thundering herd must still return a parseable
+exposition document, counters must only ever move forward between
+scrapes, and no (name, labels) series may be emitted twice — the
+guarantees a Prometheus server actually relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.loadgen import herd_scenario, http_request, run_scenario
+from repro.telemetry.exporters import parse_prometheus_text
+from tests.serve.conftest import TINY_DEC, TINY_NAME, TINY_RA, run_with_server
+
+
+def _series_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _scrape_series(text: str) -> dict[tuple, float]:
+    """Flatten one exposition document to {(name, labels): value}."""
+    flat: dict[tuple, float] = {}
+    for name, samples in parse_prometheus_text(text).items():
+        for labels, value in samples:
+            flat[(name, _series_key(labels))] = value
+    return flat
+
+
+def _run_herd_with_scrapes(**stack_kwargs):
+    targets = [(TINY_NAME, TINY_RA, TINY_DEC)]
+
+    async def scenario(stack, host, port):
+        herd = run_scenario(host, port, herd_scenario(requests=40), targets)
+        herd_task = asyncio.create_task(herd)
+        scrapes: list[str] = []
+        while not herd_task.done():
+            status, _, body = await http_request(host, port, "GET", "/metrics")
+            if status == 200:  # a scrape may itself be shed under the herd
+                scrapes.append(body.decode("utf-8"))
+            await asyncio.sleep(0.02)
+        report = await herd_task
+        # Two guaranteed post-load scrapes for the monotonicity check.
+        for _ in range(2):
+            status, _, body = await http_request(host, port, "GET", "/metrics")
+            assert status == 200
+            scrapes.append(body.decode("utf-8"))
+        return scrapes, report.as_dict()
+
+    return run_with_server(scenario, **stack_kwargs)
+
+
+def test_scrapes_parse_and_counters_are_monotone_under_herd():
+    # observability=True turns the telemetry runtime on, so the serve
+    # counters are live; without it /metrics legitimately exposes nothing.
+    scrapes, report = _run_herd_with_scrapes(observability=True)
+    assert report["failures"] == 0
+    assert len(scrapes) >= 2
+    parsed = [_scrape_series(text) for text in scrapes]  # ValueError = fail
+    counters = [
+        key
+        for key in parsed[-1]
+        if key[0].endswith("_total") and not key[0].endswith("_bucket")
+    ]
+    assert any(key[0] == "serve_requests_total" for key in counters)
+    for earlier, later in zip(parsed, parsed[1:]):
+        for key in counters:
+            if key in earlier and key in later:
+                assert later[key] >= earlier[key], f"counter went backwards: {key}"
+
+
+def test_no_duplicate_series_in_any_scrape_with_plane_enabled():
+    scrapes, _ = _run_herd_with_scrapes(observability=True)
+    for text in scrapes:
+        seen: set[tuple] = set()
+        for name, samples in parse_prometheus_text(text).items():
+            for labels, _value in samples:
+                key = (name, _series_key(labels))
+                assert key not in seen, f"duplicate series {key}"
+                seen.add(key)
+    # The plane's windowed gauges made it into the exposition.
+    assert "serve_request_rate" in scrapes[-1]
+    assert "serve_slo_budget_remaining" in scrapes[-1]
