@@ -1,0 +1,193 @@
+"""Shard-fleet benchmark: scaling and cross-shard reuse, with gates.
+
+Two measurements, appended to ``BENCH_shard.json`` at the repo root:
+
+* **scaling** — one campaign of distinct-signature synthetic jobs driven
+  through a 1-shard fleet and a 4-shard fleet (both one executor thread
+  per worker, so the only difference is process parallelism).  Process
+  startup is excluded: the clock covers submit -> drain.  Gated
+  (``--check``): the 4-shard fleet must deliver >= 2x the single-shard
+  jobs/s.  Perfect scaling would be ~4x minus the consistent-hash skew
+  (64 tiles over 4 shards places ~1.25x the mean on the busiest shard);
+  2x is the floor below which the fleet is coordination-bound.
+
+* **reuse** — a repeated-signature workload across *topologies*: the
+  same clusters are first derived by an ``a*``-named fleet, then
+  resubmitted to a fresh ``s*``-named fleet sharing the same data
+  directory.  Every second-wave job should short-circuit on the shared
+  signature store, and — because the recorded owners are foreign — count
+  as a cross-shard hit.  Gated: cross-shard hit rate > 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_shard_bench.py --quick
+    PYTHONPATH=src python benchmarks/run_shard_bench.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.shard.fleet import ShardFleet  # noqa: E402
+
+TRAJECTORY = REPO_ROOT / "BENCH_shard.json"
+
+#: --check gates.
+SPEEDUP_FLOOR = 2.0
+CROSS_HIT_RATE_FLOOR = 0.0  # strictly greater than
+
+
+def _campaign(fleet: ShardFleet, clusters: list[str], users: int = 4) -> dict:
+    """Submit every cluster, drain, return timing + cache counters."""
+    started = time.monotonic()
+    records = [
+        fleet.submit(f"user{i % users}", cluster)
+        for i, cluster in enumerate(clusters)
+    ]
+    for record in records:
+        fleet.wait(record.job_id, timeout=600.0)
+    elapsed = time.monotonic() - started
+    terminal = [fleet.job(r.job_id) for r in records]
+    return {
+        "jobs": len(records),
+        "elapsed_s": round(elapsed, 3),
+        "jobs_per_s": round(len(records) / elapsed, 2),
+        "cache_hits": sum(1 for r in terminal if r.cache_hit),
+        "cross_shard_hits": fleet.cross_shard_hits(),
+    }
+
+
+def measure_scaling(root: Path, quick: bool) -> dict:
+    n_jobs = 32 if quick else 64
+    base_seconds = 0.04 if quick else 0.06
+    clusters = [f"B{i:02d}" for i in range(n_jobs)]
+    runs: dict[str, dict] = {}
+    for label, shards in (("single", 1), ("fleet4", 4)):
+        fleet = ShardFleet(
+            root / f"scaling-{label}",
+            shards=shards,
+            base_seconds=base_seconds,
+            spread_seconds=0.0,
+            max_workers=1,
+        )
+        with fleet:
+            runs[label] = _campaign(fleet, clusters)
+        assert fleet.leaked_processes() == []
+    speedup = runs["fleet4"]["jobs_per_s"] / runs["single"]["jobs_per_s"]
+    entry = {
+        "jobs": n_jobs,
+        "base_seconds": base_seconds,
+        "single_shard": runs["single"],
+        "four_shards": runs["fleet4"],
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"scaling: {n_jobs} jobs @ {base_seconds * 1000:.0f} ms — "
+        f"1 shard {runs['single']['jobs_per_s']:.1f} jobs/s, "
+        f"4 shards {runs['fleet4']['jobs_per_s']:.1f} jobs/s "
+        f"({speedup:.2f}x)"
+    )
+    return entry
+
+
+def measure_reuse(root: Path, quick: bool) -> dict:
+    n_jobs = 16 if quick else 32
+    clusters = [f"R{i:02d}" for i in range(n_jobs)]
+    data_dir = root / "reuse"
+    first = ShardFleet(
+        data_dir, shard_names=("a0", "a1"), base_seconds=0.02, spread_seconds=0.0
+    )
+    with first:
+        warm = _campaign(first, clusters)
+    assert first.leaked_processes() == []
+
+    second = ShardFleet(
+        data_dir, shards=4, base_seconds=0.02, spread_seconds=0.0
+    )
+    with second:
+        reuse = _campaign(second, clusters)
+    assert second.leaked_processes() == []
+
+    cross_rate = reuse["cross_shard_hits"] / reuse["jobs"]
+    entry = {
+        "jobs": n_jobs,
+        "first_topology": warm,
+        "second_topology": reuse,
+        "cross_shard_hit_rate": round(cross_rate, 3),
+    }
+    print(
+        f"reuse: {n_jobs} repeated signatures across topologies — "
+        f"{reuse['cache_hits']} cache hits, "
+        f"{reuse['cross_shard_hits']} cross-shard "
+        f"(rate {cross_rate:.2f})"
+    )
+    return entry
+
+
+def check_gates(scaling: dict, reuse: dict) -> list[str]:
+    problems: list[str] = []
+    if scaling["speedup"] < SPEEDUP_FLOOR:
+        problems.append(
+            f"scaling: 4-shard speedup {scaling['speedup']:.2f}x below the "
+            f"{SPEEDUP_FLOOR:.1f}x floor — the fleet is coordination-bound"
+        )
+    if reuse["cross_shard_hit_rate"] <= CROSS_HIT_RATE_FLOOR:
+        problems.append(
+            "reuse: zero cross-shard cache hits on a repeated-signature "
+            "workload — the shared signature directory is not short-circuiting"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller campaigns for CI")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless scaling and reuse meet their gates",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="shard-bench-") as tmp:
+        root = Path(tmp)
+        scaling = measure_scaling(root, quick=args.quick)
+        reuse = measure_reuse(root, quick=args.quick)
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "mode": "quick" if args.quick else "full",
+        "gates": {
+            "speedup_floor": SPEEDUP_FLOOR,
+            "cross_hit_rate_floor": CROSS_HIT_RATE_FLOOR,
+        },
+        "scaling": scaling,
+        "reuse": reuse,
+    }
+    history = {"history": []}
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history["history"].append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"trajectory -> {TRAJECTORY}")
+
+    if args.check:
+        problems = check_gates(scaling, reuse)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

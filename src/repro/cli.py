@@ -297,10 +297,20 @@ def cmd_queue(args: argparse.Namespace) -> int:
     """Render the journal's replayed queue state."""
     import json
 
-    from repro.scheduler import JobJournal
+    from repro.scheduler import JobJournal, merge_states
     from repro.scheduler.service import _wall_times
 
-    state = JobJournal(args.journal).replay()
+    if getattr(args, "fleet_dir", None):
+        from pathlib import Path
+
+        paths = sorted(Path(args.fleet_dir).glob("journal-*.jsonl"))
+        if not paths:
+            print(f"error: no journal-*.jsonl under {args.fleet_dir}", file=sys.stderr)
+            return 2
+        state = merge_states(JobJournal(p).replay() for p in paths)
+        args.journal = args.fleet_dir
+    else:
+        state = JobJournal(args.journal).replay()
     if args.json:
         counts: dict[str, int] = {}
         for record in state.jobs.values():
@@ -330,15 +340,16 @@ def cmd_queue(args: argparse.Namespace) -> int:
         print(f"queue is empty ({args.journal})")
         return 0
     print(
-        f"{'seq':>4s} {'job id':<18s} {'user':<10s} {'cluster':<10s} "
-        f"{'prio':>4s} {'state':<10s} {'cache':>5s} error"
+        f"{'seq':>4s} {'job id':<22s} {'user':<10s} {'cluster':<10s} "
+        f"{'prio':>4s} {'shard':<6s} {'state':<10s} {'cache':>5s} error"
     )
     counts: dict[str, int] = {}
     for record in state.jobs.values():
         counts[record.state.value] = counts.get(record.state.value, 0) + 1
         print(
-            f"{record.seq:>4d} {record.job_id:<18s} {record.spec.user:<10s} "
+            f"{record.seq:>4d} {record.job_id:<22s} {record.spec.user:<10s} "
             f"{record.spec.cluster:<10s} {record.spec.priority:>4d} "
+            f"{record.shard or '-':<6s} "
             f"{record.state.value:<10s} {'yes' if record.cache_hit else '-':>5s} "
             f"{record.error or ''}"
         )
@@ -402,6 +413,7 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import build_serving_stack
+    from repro.serve.harness import ready_line
 
     async def _run() -> None:
         stack = build_serving_stack(
@@ -416,6 +428,9 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
             latency_target_s=args.latency_target,
         )
         async with stack:
+            # Machine-readable first line: with --port 0 the kernel picks
+            # the port, and harnesses parse this instead of guessing.
+            print(ready_line(stack), flush=True)
             print(
                 f"portal serving tier on {stack.server.url} "
                 f"(journal: {args.journal or 'in-memory'}, runner: {args.runner}, "
@@ -435,6 +450,85 @@ def cmd_serve_http(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("\nshutdown complete")
+    return 0
+
+
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """Run the sharded serving tier: HTTP front door + worker fleet."""
+    import asyncio
+
+    from repro.serve.harness import build_fleet_serving_stack, ready_line
+
+    async def _run() -> None:
+        stack = build_fleet_serving_stack(
+            args.data_dir,
+            shards=args.shards,
+            runner=args.runner,
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            slots_per_job=args.slots_per_job,
+            observability=True if args.observe else None,
+        )
+        async with stack:
+            print(ready_line(stack), flush=True)
+            print(
+                f"sharded portal tier on {stack.server.url} "
+                f"({args.shards} shard worker(s), runner: {args.runner}, "
+                f"state: {args.data_dir})"
+            )
+            print("endpoints: /cone /sia /jobs /queue /health /metrics")
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                await asyncio.Event().wait()  # serve until Ctrl-C
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutdown complete")
+    return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Shard topology introspection (``repro shard map``)."""
+    import json
+
+    from repro.shard.ring import ConsistentHashRing
+    from repro.shard.tiling import tile_for_cluster, tiles_at_level
+    from repro.sky.registry_data import DEMONSTRATION_CLUSTERS
+
+    names = tuple(f"s{i}" for i in range(args.shards))
+    ring = ConsistentHashRing(names)
+    clusters = args.cluster or [c.name for c in DEMONSTRATION_CLUSTERS]
+    rows = []
+    for cluster in clusters:
+        tile = tile_for_cluster(cluster, args.level)
+        rows.append((cluster, tile.tile_id, ring.node_for(tile.tile_id)))
+    tiles = [t.tile_id for t in tiles_at_level(args.level)]
+    counts: dict[str, int] = {name: 0 for name in names}
+    for tile_id in tiles:
+        counts[ring.node_for(tile_id)] += 1
+    if args.json:
+        print(json.dumps({
+            "shards": list(names),
+            "level": args.level,
+            "tiles": len(tiles),
+            "tile_counts": counts,
+            "skew": ring.skew(tiles),
+            "clusters": [
+                {"cluster": c, "tile": t, "shard": s} for c, t, s in rows
+            ],
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"{'cluster':<12s} {'tile':<10s} shard")
+    for cluster, tile_id, shard in rows:
+        print(f"{cluster:<12s} {tile_id:<10s} {shard}")
+    spread = ", ".join(f"{name}={counts[name]}" for name in names)
+    print(
+        f"\n{len(tiles)} tile(s) at level {args.level} over {len(names)} "
+        f"shard(s): {spread} (max/mean skew {ring.skew(tiles):.2f})"
+    )
     return 0
 
 
@@ -514,17 +608,27 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection campaign + recovery invariant (the chaos harness)."""
     import json
 
-    from repro.faults.chaos import run_chaos_campaign
+    from repro.faults.chaos import run_chaos_campaign, run_sharded_chaos_campaign
 
     traced = _telemetry_begin(args)
     try:
-        report = run_chaos_campaign(
-            profile=args.profile,
-            clusters=args.cluster or None,
-            seed=args.seed,
-            max_workers=args.max_workers,
-            requeue_attempts=args.requeue_attempts,
-        )
+        if args.shards or args.profile == "worker-crash":
+            # worker-crash only exists sharded: the fault IS a shard death.
+            report = run_sharded_chaos_campaign(
+                profile=args.profile,
+                shards=args.shards or 4,
+                jobs=args.jobs,
+                users=args.users,
+                seed=args.seed,
+            )
+        else:
+            report = run_chaos_campaign(
+                profile=args.profile,
+                clusters=args.cluster or None,
+                seed=args.seed,
+                max_workers=args.max_workers,
+                requeue_attempts=args.requeue_attempts,
+            )
     except ValueError as exc:  # unknown profile: list the valid ones
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -623,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("queue", help="show the workload manager's queue state")
     p.add_argument("--journal", default="scheduler-journal.jsonl")
     p.add_argument(
+        "--fleet-dir", default=None, metavar="DIR",
+        help="replay every shard journal (journal-*.jsonl) under a fleet state dir",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="machine-readable queue state (the load harness polls this)",
     )
@@ -669,6 +777,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="p-latency SLO threshold for the burn tracker (default 0.5s)",
     )
     p.set_defaults(fn=cmd_serve_http)
+
+    p = sub.add_parser(
+        "serve-fleet",
+        help="run the sharded serving tier: HTTP front door + per-shard worker processes",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p.add_argument("--shards", type=int, default=4, help="worker processes (one journal + RLS partition each)")
+    p.add_argument(
+        "--data-dir", default="fleet-state",
+        help="directory for shard journals and the shared signature store",
+    )
+    p.add_argument(
+        "--runner", default="synthetic", choices=("portal", "synthetic"),
+        help="job body inside each worker",
+    )
+    p.add_argument("--max-workers", type=int, default=2, help="concurrent jobs per shard")
+    p.add_argument("--slots-per-job", type=int, default=4, help="pool slots leased per job")
+    p.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="shut down after this long (default: serve until Ctrl-C)",
+    )
+    p.add_argument(
+        "--observe", action="store_true",
+        help="enable the live observability plane (/debug surface, tracing, SLO burn)",
+    )
+    p.set_defaults(fn=cmd_serve_fleet)
+
+    p = sub.add_parser("shard", help="spatial-sharding topology tools")
+    ssub = p.add_subparsers(dest="shard_command", required=True)
+    sm = ssub.add_parser("map", help="tile + shard placement for clusters")
+    sm.add_argument(
+        "--shards", type=int, default=4, help="ring size to place tiles on"
+    )
+    sm.add_argument(
+        "--level", type=int, default=3, help="quad-tree depth (4**level tiles)"
+    )
+    sm.add_argument(
+        "--cluster", action="append", default=[], metavar="NAME",
+        help="cluster to place (repeatable; default: the demonstration set)",
+    )
+    sm.add_argument("--json", action="store_true", help="machine-readable map")
+    sm.set_defaults(fn=cmd_shard)
 
     p = sub.add_parser(
         "loadgen",
@@ -728,6 +879,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--requeue-attempts", type=int, default=3,
         help="scheduler attempts per job under chaos (transient requeue)",
     )
+    p.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the campaign on an N-shard worker fleet (worker-crash implies 4)",
+    )
+    p.add_argument("--jobs", type=int, default=20, help="sharded campaign job count")
+    p.add_argument("--users", type=int, default=4, help="sharded campaign tenant count")
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
     _add_telemetry_options(p)
     p.set_defaults(fn=cmd_chaos)

@@ -316,3 +316,246 @@ def run_chaos_campaign(
         stale_replicas_created=stale,
         breaker_states=health.states() if health is not None else {},
     )
+
+
+# -- sharded campaigns ----------------------------------------------------------
+@dataclass
+class ShardChaosReport:
+    """What a sharded campaign proved (baseline fleet vs chaos fleet)."""
+
+    profile: str
+    seed: int
+    recoverable: bool
+    shards: int
+    outcomes: list[ClusterOutcome]
+    killed_shard: str = ""
+    relocated_jobs: int = 0
+    cross_shard_hits: int = 0
+    leaked_workers: int = 0
+    fingerprint_stable: bool = True
+
+    @property
+    def recovered(self) -> bool:
+        return (
+            all(o.state == "completed" and o.identical for o in self.outcomes)
+            and self.leaked_workers == 0
+            and self.fingerprint_stable
+        )
+
+    @property
+    def graceful(self) -> bool:
+        for outcome in self.outcomes:
+            if outcome.state not in ("completed", "failed", "cancelled"):
+                return False
+            if outcome.state == "failed" and not outcome.error:
+                return False
+        return self.leaked_workers == 0 and self.fingerprint_stable
+
+    @property
+    def passed(self) -> bool:
+        return self.recovered if self.recoverable else self.graceful
+
+    def exit_code(self) -> int:
+        if self.recoverable:
+            return 0 if self.recovered else 1
+        return 1  # same contract as ChaosReport: degraded is never silent
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "recoverable": self.recoverable,
+            "sharded": True,
+            "shards": self.shards,
+            "killed_shard": self.killed_shard,
+            "relocated_jobs": self.relocated_jobs,
+            "cross_shard_hits": self.cross_shard_hits,
+            "leaked_workers": self.leaked_workers,
+            "fingerprint_stable": self.fingerprint_stable,
+            "recovered": self.recovered,
+            "graceful": self.graceful,
+            "passed": self.passed,
+            "clusters": [o.as_dict() for o in self.outcomes],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"sharded chaos profile {self.profile!r} (seed {self.seed}, "
+            f"{self.shards} shards, "
+            f"{'recoverable' if self.recoverable else 'unrecoverable'})",
+            "",
+            f"{'cluster':<10s} {'user':<8s} {'state':<10s} {'identical':>9s}",
+        ]
+        for o in self.outcomes:
+            user = o.cluster.partition("|")[2] or "-"
+            name = o.cluster.partition("|")[0]
+            lines.append(
+                f"{name:<10s} {user:<8s} {o.state:<10s} "
+                f"{'yes' if o.identical else 'NO':>9s}"
+            )
+            if o.error:
+                lines.append(f"           error: {o.error}")
+        if self.killed_shard:
+            lines.append("")
+            lines.append(
+                f"killed shard {self.killed_shard!r} mid-flight; "
+                f"{self.relocated_jobs} job(s) relocated by journal replay"
+            )
+        lines.append(f"cross-shard cache hits: {self.cross_shard_hits}")
+        lines.append(f"leaked worker processes: {self.leaked_workers}")
+        lines.append(
+            "global fingerprint: "
+            + ("stable across replays" if self.fingerprint_stable else "UNSTABLE")
+        )
+        lines.append("")
+        if self.recoverable:
+            lines.append(
+                "recovery invariant: "
+                + ("HELD (outputs byte-identical)" if self.recovered else "VIOLATED")
+            )
+        else:
+            lines.append(
+                "degradation hygiene: "
+                + ("graceful (no wedged jobs, no leaks)" if self.graceful else "NOT graceful")
+            )
+        return "\n".join(lines)
+
+
+def _drain_fleet(
+    fleet: Any,
+    workload: Sequence[tuple[str, str]],
+    timeout_s: float,
+    kill_after_submit: bool = False,
+) -> tuple[dict[tuple[str, str], dict[str, Any]], str]:
+    """Submit a workload, optionally SIGKILL the busiest shard, drain."""
+    records = [
+        (user, cluster, fleet.submit(user, cluster)) for user, cluster in workload
+    ]
+    killed = ""
+    if kill_after_submit:
+        by_shard: dict[str, int] = {}
+        for _, _, record in records:
+            by_shard[record.shard] = by_shard.get(record.shard, 0) + 1
+        if by_shard:
+            killed = max(sorted(by_shard), key=lambda s: by_shard[s])
+            fleet.kill_worker(killed)
+    results: dict[tuple[str, str], dict[str, Any]] = {}
+    for user, cluster, record in records:
+        done = fleet.wait(record.job_id, timeout=timeout_s)
+        content: bytes | None = None
+        if done.state is JobState.COMPLETED:
+            content = fleet.result_bytes(record.job_id)
+        results[(user, cluster)] = {
+            "state": done.state.value,
+            "content": content,
+            "error": done.error,
+        }
+    return results, killed
+
+
+def run_sharded_chaos_campaign(
+    profile: str = "worker-crash",
+    shards: int = 4,
+    jobs: int = 20,
+    users: int = 4,
+    seed: int = 2003,
+    timeout_s: float = 600.0,
+    data_dir: str | None = None,
+) -> ShardChaosReport:
+    """Baseline (single shard, fault-free) vs a sharded chaos fleet.
+
+    ``worker-crash`` runs the cheap deterministic synthetic runner and
+    manufactures the fault itself: one worker is SIGKILLed with jobs in
+    flight, and the coordinator's journal-replay rebalance must finish the
+    campaign byte-identical to the single-shard baseline.  Any other
+    profile runs the portal runner with that fault plan installed inside
+    *every* worker — ``grid-down`` over a sharded topology asserts the
+    same hygiene as unsharded: terminal states everywhere, errors carried,
+    and (new here) zero leaked worker processes.
+    """
+    import tempfile
+
+    from repro.faults.profiles import get_profile as _get_profile
+    from repro.shard.fleet import ShardFleet
+    from repro.sky.registry_data import demonstration_cluster
+
+    plan = _get_profile(profile, seed)
+    crash_mode = profile == "worker-crash"
+    if crash_mode:
+        clusters = [f"CH{i:02d}" for i in range(jobs)]
+        runner, fault_profile = "synthetic", ""
+    else:
+        # Portal profiles: the demonstration clusters, cycled over `jobs`.
+        names = [demonstration_cluster(n).name for n in DEFAULT_CHAOS_CLUSTERS]
+        clusters = [names[i % len(names)] for i in range(min(jobs, 2 * len(names)))]
+        runner, fault_profile = "portal", profile
+    workload = [
+        (f"user{i % max(1, users)}", cluster) for i, cluster in enumerate(clusters)
+    ]
+
+    def _fleet_kwargs(n: int, faults: str) -> dict[str, Any]:
+        kwargs: dict[str, Any] = {
+            "shards": n,
+            "runner": runner,
+            "seed": seed,
+            "fault_profile": faults,
+        }
+        if crash_mode:
+            kwargs.update(base_seconds=0.05, spread_seconds=0.05, max_workers=1)
+        return kwargs
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = data_dir if data_dir is not None else scratch
+
+        # Baseline: one shard, fault-free — the single-shard reference bytes.
+        base_fleet = ShardFleet(f"{root}/baseline", **_fleet_kwargs(1, ""))
+        with base_fleet:
+            baseline, _ = _drain_fleet(base_fleet, workload, timeout_s)
+        leaked = len(base_fleet.leaked_processes())
+        for (user, cluster), result in baseline.items():
+            if result["content"] is None:
+                raise RuntimeError(
+                    f"baseline run failed for {cluster!r}/{user}: "
+                    f"{result['error'] or result['state']}"
+                )
+
+        # Chaos: the sharded topology with the fault armed.
+        chaos_fleet = ShardFleet(f"{root}/chaos", **_fleet_kwargs(shards, fault_profile))
+        with chaos_fleet:
+            chaos, killed = _drain_fleet(
+                chaos_fleet, workload, timeout_s, kill_after_submit=crash_mode
+            )
+            relocated = len(chaos_fleet._aliases)  # noqa: SLF001 - harness introspection
+            cross_hits = chaos_fleet.cross_shard_hits()
+            fingerprint = chaos_fleet.global_fingerprint()
+            stable = fingerprint == chaos_fleet.global_fingerprint()
+        leaked += len(chaos_fleet.leaked_processes())
+
+    outcomes = [
+        ClusterOutcome(
+            cluster=f"{cluster}|{user}",
+            baseline_sha256=_sha256(baseline[(user, cluster)]["content"]),
+            chaos_sha256=(
+                _sha256(chaos[(user, cluster)]["content"])
+                if chaos[(user, cluster)]["content"] is not None
+                else None
+            ),
+            state=chaos[(user, cluster)]["state"],
+            attempts=0,
+            requeues=0,
+            error=chaos[(user, cluster)]["error"],
+        )
+        for user, cluster in workload
+    ]
+    return ShardChaosReport(
+        profile=profile,
+        seed=seed,
+        recoverable=plan.recoverable,
+        shards=shards,
+        outcomes=outcomes,
+        killed_shard=killed,
+        relocated_jobs=relocated,
+        cross_shard_hits=cross_hits,
+        leaked_workers=leaked,
+        fingerprint_stable=stable,
+    )

@@ -91,10 +91,20 @@ def _grid_down(seed: int) -> FaultPlan:
     )
 
 
+def _worker_crash(seed: int) -> FaultPlan:
+    # The fault is process death, not a service fault: the sharded chaos
+    # harness manufactures it (SIGKILL of one shard worker mid-flight, the
+    # way _make_stale_replicas manufactures the stale-RLS lie).  The plan
+    # itself is clean; recoverable=True states the claim — the fleet's
+    # journal-replay rebalance must land byte-identical outputs.
+    return FaultPlan(seed=seed, recoverable=True)
+
+
 _PROFILES: dict[str, Callable[[int], FaultPlan]] = {
     "recoverable": _recoverable,
     "degraded-archives": _degraded_archives,
     "grid-down": _grid_down,
+    "worker-crash": _worker_crash,
 }
 
 

@@ -45,7 +45,13 @@ from repro.scheduler.job import (
     TERMINAL_STATES,
     derivation_signature,
 )
-from repro.scheduler.journal import JobJournal, JournalState, replay_events
+from repro.scheduler.journal import (
+    JobJournal,
+    JournalState,
+    global_fingerprint,
+    merge_states,
+    replay_events,
+)
 from repro.scheduler.leases import Lease, SlotLeaseManager
 from repro.scheduler.policy import AdmissionPolicy, FairShareScheduler
 from repro.scheduler.runner import JobFailure, JobOutcome, PortalJobRunner
@@ -68,5 +74,7 @@ __all__ = [
     "TERMINAL_STATES",
     "WorkloadManager",
     "derivation_signature",
+    "global_fingerprint",
+    "merge_states",
     "replay_events",
 ]

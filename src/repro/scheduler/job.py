@@ -112,6 +112,10 @@ class JobRecord:
     #: earliest monotonic clock value at which a requeued job may be
     #: re-dispatched (transient-failure backoff); ``None`` = immediately.
     not_before: float | None = None
+    #: name of the shard whose journal owns this job (``""`` unsharded).
+    #: Journaled with the submit record so placement survives crash-replay
+    #: and shows up in ``repro queue``/``repro top``.
+    shard: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
     #: the submitting request's trace context (when the observability plane
     #: is on): dispatch re-attaches it so executor spans join the HTTP
@@ -140,7 +144,7 @@ class JobRecord:
 
     # -- (de)serialisation (journal lines) ---------------------------------------
     def as_record(self) -> dict[str, Any]:
-        return {
+        record = {
             "job_id": self.job_id,
             "user": self.spec.user,
             "cluster": self.spec.cluster,
@@ -152,6 +156,9 @@ class JobRecord:
             "state": self.state.value,
             "attempts": self.attempts,
         }
+        if self.shard:
+            record["shard"] = self.shard
+        return record
 
     @classmethod
     def from_record(cls, data: Mapping[str, Any]) -> "JobRecord":
@@ -169,4 +176,5 @@ class JobRecord:
             submitted_at=float(data["submitted_at"]),
             state=JobState(data.get("state", "queued")),
             attempts=int(data.get("attempts", 0)),
+            shard=str(data.get("shard", "")),
         )

@@ -62,19 +62,32 @@ class JobJournal:
         return line
 
     def events(self) -> list[dict[str, Any]]:
-        """All journaled lines, oldest first."""
+        """All journaled lines, oldest first.
+
+        A half-written *final* line is tolerated and dropped: a worker
+        process SIGKILLed mid-append leaves at most one truncated record at
+        EOF, and crash replay must recover the prefix rather than explode.
+        Corruption anywhere else in the file is still an error.
+        """
         with self._lock:
             if self.path is None:
                 return list(self._memory)
             if not self.path.exists():
                 return []
-            out: list[dict[str, Any]] = []
             with open(self.path, "r", encoding="utf-8") as fh:
-                for raw in fh:
-                    raw = raw.strip()
-                    if raw:
-                        out.append(json.loads(raw))
-            return out
+                lines = [raw.strip() for raw in fh]
+        lines = [raw for raw in lines if raw]
+        out: list[dict[str, Any]] = []
+        for i, raw in enumerate(lines):
+            try:
+                out.append(json.loads(raw))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a killed writer: replay the prefix
+                raise SchedulerError(
+                    f"{self.path}: corrupt journal line {i + 1}: {raw[:80]!r}"
+                ) from None
+        return out
 
     def replay(self) -> "JournalState":
         """Rebuild manager state from the journal."""
@@ -179,3 +192,41 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
             record.state = JobState.QUEUED
             record.started_at = None
     return state
+
+
+def merge_states(states: Iterable[JournalState]) -> JournalState:
+    """Fold several shards' replays into one global :class:`JournalState`.
+
+    Shard journals are disjoint by construction (each worker journals only
+    its own jobs, with shard-prefixed job ids), so the merge is a union:
+    duplicate job ids are a topology bug and rejected.  Per-user usage sums
+    across shards — that is the *global* fair-share ledger.
+    """
+    merged = JournalState()
+    for state in states:
+        for job_id, record in state.jobs.items():
+            if job_id in merged.jobs:
+                raise SchedulerError(
+                    f"job {job_id!r} appears in more than one shard journal"
+                )
+            merged.jobs[job_id] = record
+        for signature, nodes in state.rescue.items():
+            merged.rescue.setdefault(signature, set()).update(nodes)
+        for user, cost in state.usage.items():
+            merged.usage[user] = merged.usage.get(user, 0.0) + cost
+        merged.max_seq = max(merged.max_seq, state.max_seq)
+    return merged
+
+
+def global_fingerprint(
+    paths: Iterable[str | os.PathLike[str]],
+) -> list[tuple[int, str, str, str, str]]:
+    """Order-insensitive fleet-wide queue identity across shard journals.
+
+    Per-shard fingerprints are order-sensitive (each journal is one
+    writer's total order), but shards are concurrent peers — the global
+    identity sorts the union by job id so two replays of the same journal
+    set always agree, regardless of enumeration order.
+    """
+    merged = merge_states(JobJournal(path).replay() for path in paths)
+    return sorted(merged.fingerprint(), key=lambda item: item[1])

@@ -105,6 +105,12 @@ class FairShareScheduler:
         self._decay()
         return self._usage.get(user, 0.0)
 
+    def usage_snapshot(self) -> dict[str, float]:
+        """Every user's decayed usage — the ledger a fleet coordinator sums
+        across shards to compute *global* fair-share debts."""
+        self._decay()
+        return dict(self._usage)
+
     def normalized_usage(self, user: str) -> float:
         self._decay()
         return self._usage.get(user, 0.0) / self.weights.get(user, 1.0)

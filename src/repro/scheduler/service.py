@@ -80,11 +80,16 @@ class WorkloadManager:
         journal: JobJournal | None = None,
         clock: Callable[[], float] = time.monotonic,
         requeue_policy: RetryPolicy | None = None,
+        shard: str | None = None,
     ) -> None:
         if slots_per_job < 1:
             raise ValueError(f"slots_per_job must be positive, got {slots_per_job}")
         self.runner = runner
         self.slots_per_job = slots_per_job
+        #: shard identity when this manager is one partition of a fleet:
+        #: job ids gain a ``<shard>-`` prefix (globally unique across the
+        #: fleet's journals), records/gauges carry the shard label.
+        self.shard = shard or ""
         #: transient-failure requeue: when set, a job whose run raised a
         #: transient :class:`JobFailure` goes back to the queue (with the
         #: policy's exponential backoff as a not-before gate and its rescue
@@ -229,13 +234,16 @@ class WorkloadManager:
                 self.admission.admit(user, len(self._queue), active)
             # The id is minted from the journal-global sequence number (not a
             # per-process counter) so spool-then-serve across processes never
-            # collides; the suffix ties it visibly to its derivation.
+            # collides; the suffix ties it visibly to its derivation, and a
+            # shard prefix keeps ids unique across a fleet's journal set.
+            prefix = f"{self.shard}-" if self.shard else ""
             record = JobRecord(
-                job_id=f"job-{self._seq:06d}-{signature[4:10]}",
+                job_id=f"{prefix}job-{self._seq:06d}-{signature[4:10]}",
                 spec=spec,
                 signature=signature,
                 seq=self._seq,
                 submitted_at=self._clock(),
+                shard=self.shard,
             )
             self._seq += 1
             self._jobs[record.job_id] = record
@@ -336,6 +344,7 @@ class WorkloadManager:
             jobs = sorted(self._jobs.values(), key=lambda r: r.seq)
             users = {r.spec.user for r in self._jobs.values()}
             return {
+                **({"shard": self.shard} if self.shard else {}),
                 "queued": len(self._queue),
                 "running": self._running,
                 "slots_in_use": self.leases.in_use(),
@@ -563,9 +572,14 @@ class WorkloadManager:
         """Update gauges; caller holds (or is constructing under) the lock."""
         if not telemetry.enabled():
             return
-        telemetry.gauge_set("scheduler_queue_depth", float(len(self._queue)))
-        telemetry.gauge_set("scheduler_running_jobs", float(self._running))
-        telemetry.gauge_set("scheduler_slots_in_use", float(self.leases.in_use()))
+        labels = {"shard": self.shard} if self.shard else {}
+        telemetry.gauge_set(
+            "scheduler_queue_depth", float(len(self._queue)), **labels
+        )
+        telemetry.gauge_set("scheduler_running_jobs", float(self._running), **labels)
+        telemetry.gauge_set(
+            "scheduler_slots_in_use", float(self.leases.in_use()), **labels
+        )
         users = {r.spec.user for r in self._jobs.values()}
         for user, debt in self.scheduler.debts(users).items():
-            telemetry.gauge_set("scheduler_fair_share_debt", debt, user=user)
+            telemetry.gauge_set("scheduler_fair_share_debt", debt, user=user, **labels)

@@ -262,7 +262,7 @@ class ServeApp:
         if path == "/health":
             return await self._health(method)
         if path == "/metrics":
-            return self._metrics(method)
+            return await self._metrics(method)
         if path == "/cone":
             return await self._cone(request, method)
         if path == "/sia":
@@ -300,6 +300,14 @@ class ServeApp:
             "running": self.manager.running_jobs(),
             "inflight": self.gate.inflight(),
         }
+        shard_health = getattr(self.manager, "shard_health", None)
+        if shard_health is not None:
+            # Fleet front door: aggregate per-shard liveness (reaping dead
+            # workers as a side effect) and degrade status on any death.
+            fleet_health = await self.bridge.call(shard_health)
+            payload["shards"] = fleet_health
+            if fleet_health["dead"]:
+                payload["status"] = "degraded"
         health = getattr(self.env, "health", None)
         if health is not None:
             payload["sites"] = health.states()
@@ -310,13 +318,20 @@ class ServeApp:
                 payload["status"] = "degraded"
         return _json_response(payload)
 
-    def _metrics(self, method: str) -> Response:
+    async def _metrics(self, method: str) -> Response:
         self._require(method, "GET", "HEAD")
         if self.plane_active:
             self.plane.publish_gauges()
+        merged = getattr(self.manager, "merged_metrics_text", None)
+        if merged is not None:
+            # Fleet front door: one exposition spanning the coordinator and
+            # every worker process (per-shard series keep their labels).
+            text = await self.bridge.call(merged)
+        else:
+            text = telemetry.prometheus_text()
         return Response(
             status=200,
-            body=telemetry.prometheus_text().encode("utf-8"),
+            body=text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 

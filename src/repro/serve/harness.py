@@ -174,3 +174,76 @@ def build_serving_stack(
         plane=plane,
         enable_plane=bool(observability),
     )
+
+
+def build_fleet_serving_stack(
+    data_dir: str,
+    *,
+    shards: int = 4,
+    runner: str = "synthetic",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int = 2,
+    slots_per_job: int = 4,
+    base_seconds: float = 0.005,
+    spread_seconds: float = 0.01,
+    observability: bool | None = None,
+    access_log_path: str | None = None,
+    latency_target_s: float = 0.5,
+    **server_options: object,
+) -> ServingStack:
+    """Build (but do not start) a *sharded* serving stack.
+
+    Same HTTP surface as :func:`build_serving_stack`, but the manager slot
+    holds a :class:`~repro.shard.fleet.ShardFleet`: submissions fan out to
+    per-shard worker processes by sky tile, and ``/queue`` / ``/health`` /
+    ``/metrics`` aggregate across the fleet.  The coordinator still builds
+    a demonstration environment so the Cone/SIA endpoints serve locally.
+    """
+    from repro.shard.fleet import ShardFleet
+
+    env = build_demo_environment()
+    fleet = ShardFleet(
+        data_dir,
+        shards=shards,
+        runner=runner,
+        base_seconds=base_seconds,
+        spread_seconds=spread_seconds,
+        max_workers=max_workers,
+        slots_per_job=slots_per_job,
+    )
+    plane = (
+        None
+        if observability is False
+        else ObservabilityPlane(
+            access_log_path=access_log_path, latency_target_s=latency_target_s
+        )
+    )
+    app = ServeApp(env, fleet, plane=plane)
+    server = PortalHttpServer(app, host=host, port=port, **server_options)  # type: ignore[arg-type]
+    return ServingStack(
+        env=env,
+        manager=fleet,  # type: ignore[arg-type] - same facade, fleet-backed
+        app=app,
+        server=server,
+        plane=plane,
+        enable_plane=bool(observability),
+    )
+
+
+def ready_line(stack: ServingStack) -> str:
+    """The machine-readable line the serve verbs print once listening.
+
+    ``repro serve-http --port 0`` binds an ephemeral port; harnesses (CI,
+    load generators, ``repro top`` wrappers) parse this single line instead
+    of guessing.  Format: ``repro-serve-ready port=<p> url=<u>[ shards=<n>]``.
+    """
+    parts = [
+        "repro-serve-ready",
+        f"port={stack.server.port}",
+        f"url={stack.server.url}",
+    ]
+    shard_names = getattr(stack.manager, "shard_names", None)
+    if shard_names is not None:
+        parts.append(f"shards={len(shard_names())}")
+    return " ".join(parts)

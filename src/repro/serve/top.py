@@ -118,6 +118,19 @@ def render_dashboard(
     lines.append(f"{'tenants':<10s} {_top_series(requests.get('tenants', {}))}")
     lines.append(f"{'routes':<10s} {_top_series(requests.get('routes', {}))}")
 
+    shards = health.get("shards")
+    if shards:
+        cells = []
+        for name, info in sorted(shards.get("shards", {}).items()):
+            if info.get("alive"):
+                cells.append(f"{name} q{info.get('queued', 0)}/r{info.get('running', 0)}")
+            else:
+                cells.append(f"{name} DEAD")
+        lines.append(
+            f"{'shards':<10s} " + "  ".join(cells)
+            + (f"  relocated {shards['relocated_jobs']}" if shards.get("relocated_jobs") else "")
+        )
+
     sites = health.get("sites")
     if sites:
         lines.append(

@@ -11,8 +11,14 @@ from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing as mp
 
-from repro.scheduler import JobJournal, WorkloadManager
+from repro.scheduler import (
+    JobJournal,
+    WorkloadManager,
+    global_fingerprint,
+    merge_states,
+)
 from repro.scheduler.job import JobState
 from repro.serve.harness import SyntheticJobRunner, build_serving_stack
 from repro.serve.loadgen import http_request
@@ -118,3 +124,74 @@ class TestReplayWhileServing:
         fingerprint = JobJournal(journal_path).replay().fingerprint()
         assert fingerprint == JobJournal(journal_path).replay().fingerprint()
         assert len(restarted.jobs()) == len(state.jobs) + 1
+
+
+def _shard_writer(journal_path: str, shard: str, submits: int) -> None:
+    """One fleet shard's life, in miniature: journal every transition."""
+    manager = WorkloadManager(
+        SyntheticJobRunner(0.001, 0.002),
+        journal=JobJournal(journal_path),
+        shard=shard,
+        max_workers=2,
+    )
+    manager.start()
+    try:
+        for i in range(submits):
+            manager.submit(TENANTS[i % len(TENANTS)], f"MP{shard}-{i % 4}")
+        manager.drain(timeout=60.0)
+    finally:
+        manager.stop()
+
+
+class TestInterleavedShardWriters:
+    """Two *processes* appending to separate shard journals, replayed globally.
+
+    The fleet's invariant: per-shard journals are independently owned
+    (no cross-process file contention), yet their union replays into one
+    consistent, stably-fingerprinted global state — shard-prefixed job ids
+    keep the namespaces disjoint by construction.
+    """
+
+    SUBMITS = 12
+
+    def _run_writers(self, tmp_path) -> list:
+        ctx = mp.get_context("spawn")
+        paths = [tmp_path / f"journal-s{i}.jsonl" for i in range(2)]
+        procs = [
+            ctx.Process(
+                target=_shard_writer, args=(str(path), f"s{i}", self.SUBMITS)
+            )
+            for i, path in enumerate(paths)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120.0)
+            assert proc.exitcode == 0
+        return paths
+
+    def test_global_replay_is_stable_and_disjoint(self, tmp_path):
+        paths = self._run_writers(tmp_path)
+
+        # merge raises on duplicate ids; prefixed ids keep shards disjoint
+        merged = merge_states(JobJournal(p).replay() for p in paths)
+        assert len(merged.jobs) == 2 * self.SUBMITS
+        shards = {record.shard for record in merged.jobs.values()}
+        assert shards == {"s0", "s1"}
+        assert all(r.state is JobState.COMPLETED for r in merged.jobs.values())
+
+        # the global fingerprint is a pure function of the journal set
+        first = global_fingerprint(paths)
+        second = global_fingerprint(paths)
+        assert first == second
+        assert len(first) == 2 * self.SUBMITS
+        assert global_fingerprint(reversed(paths)) == first
+
+    def test_usage_ledgers_sum_across_shard_journals(self, tmp_path):
+        paths = self._run_writers(tmp_path)
+        merged = merge_states(JobJournal(p).replay() for p in paths)
+        per_shard = [JobJournal(p).replay().usage for p in paths]
+        for tenant in TENANTS:
+            expected = sum(usage.get(tenant, 0.0) for usage in per_shard)
+            assert merged.usage.get(tenant, 0.0) == expected
+            assert expected > 0.0
