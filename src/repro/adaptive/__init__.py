@@ -1,0 +1,52 @@
+"""SLO-driven adaptive execution: predict, speculate, degrade, autoscale.
+
+ROADMAP item 2 closes the loop between telemetry and planning/execution.
+The resilience layer (PR 4) reacts to *hard* failures — a site must drop
+attempts before the breaker routes around it.  This package handles the
+grayer failure mode the paper's production ancestors actually fought: a
+site that is alive but *slow*, holding a whole campaign's makespan hostage.
+
+Four cooperating mechanisms, all observational (none changes output bytes):
+
+* :mod:`~repro.adaptive.estimator` — per-(site, node-class) decayed
+  latency histograms with nearest-rank quantiles, fed by both executors;
+* :mod:`~repro.adaptive.selector` — :class:`PredictiveSiteSelector`,
+  a decorator that turns any base policy cost-predictive (with hysteresis
+  so one outlier does not thrash placement);
+* :mod:`~repro.adaptive.speculation` — the straggler budget
+  (p95 × multiplier) and the launched/won/wasted ledger, charging
+  duplicate cost through :class:`~repro.services.transport.CostMeter`
+  under the ``speculative`` category;
+* :mod:`~repro.adaptive.autoscale` — per-site slot scaling against queue
+  depth in the discrete-event simulator, with cooldowns;
+* :mod:`~repro.adaptive.deadline` — predicted-completion tracking for
+  deadline-aware shedding in the workload manager.
+
+:class:`AdaptiveController` bundles the shared state and is the single
+object threaded through :class:`~repro.core.vds.VirtualDataSystem` into
+both executors and the planner's site-selector factory.  When it is
+``None`` (the default everywhere) none of this machinery exists at
+runtime — the hot paths carry one ``is None`` test, held under the same
+< 1% disabled-layer budget as the fault hooks.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.autoscale import AutoscaleConfig, SiteAutoscaler
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.deadline import DeadlineTracker
+from repro.adaptive.estimator import DecayedReservoir, SiteLatencyEstimator
+from repro.adaptive.selector import PredictiveSiteSelector
+from repro.adaptive.speculation import SpeculationPolicy, SpeculationTracker
+
+__all__ = [
+    "AdaptiveController",
+    "AutoscaleConfig",
+    "DecayedReservoir",
+    "DeadlineTracker",
+    "PredictiveSiteSelector",
+    "SiteAutoscaler",
+    "SiteLatencyEstimator",
+    "SpeculationPolicy",
+    "SpeculationTracker",
+]

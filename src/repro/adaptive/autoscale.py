@@ -1,0 +1,97 @@
+"""Per-site slot autoscaling for the discrete-event simulator.
+
+:class:`~repro.condor.pool.CondorPool` is frozen (its slot count is the
+*provisioned* topology), so the autoscaler keeps a dynamic overlay: the
+simulator asks :meth:`SiteAutoscaler.slots` instead of ``pool.slots``
+when the layer is armed.  Scaling reacts to *blocked demand* — ready
+nodes that could not start because every slot was busy:
+
+* depth above ``scale_up_at`` per busy site grows it by ``step_up``
+  slots (bounded by ``max_factor × provisioned``);
+* zero blocked demand and idle slots shrink by ``step_down`` back toward
+  the provisioned floor;
+* both directions honour a per-site ``cooldown_s`` on the *simulation*
+  clock, so one burst cannot saw the pool up and down.
+
+Slot counts are published as the ``adaptive_site_slots`` gauge so the
+``repro top`` speculation/autoscale row can show current capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Autoscaler knobs (documented in docs/adaptive.md)."""
+
+    scale_up_at: int = 4  # blocked ready nodes that justify growth
+    step_up: int = 2
+    step_down: int = 1
+    max_factor: float = 2.0  # ceiling as a multiple of provisioned slots
+    cooldown_s: float = 30.0  # sim-clock seconds between decisions/site
+
+    def __post_init__(self) -> None:
+        if self.scale_up_at < 1:
+            raise ValueError("scale_up_at must be >= 1")
+        if self.step_up < 1 or self.step_down < 1:
+            raise ValueError("steps must be >= 1")
+        if self.max_factor < 1.0:
+            raise ValueError("max_factor must be >= 1.0")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be non-negative")
+
+
+class SiteAutoscaler:
+    """Dynamic per-site slot overlay over a provisioned topology."""
+
+    def __init__(
+        self, provisioned: dict[str, int], config: AutoscaleConfig | None = None
+    ) -> None:
+        self.config = config if config is not None else AutoscaleConfig()
+        self._provisioned = dict(provisioned)
+        self._slots = dict(provisioned)
+        self._last_change: dict[str, float] = {site: float("-inf") for site in provisioned}
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def slots(self, site: str) -> int:
+        return self._slots.get(site, 0)
+
+    def current(self) -> dict[str, int]:
+        return dict(self._slots)
+
+    def evaluate(self, site: str, blocked: int, busy: int, now: float) -> int:
+        """One scaling decision for ``site``; returns the new slot count."""
+        if site not in self._provisioned:
+            return 0
+        cfg = self.config
+        if now - self._last_change[site] < cfg.cooldown_s:
+            return self._slots[site]
+        provisioned = self._provisioned[site]
+        ceiling = int(provisioned * cfg.max_factor)
+        current = self._slots[site]
+        if blocked >= cfg.scale_up_at and current < ceiling:
+            self._slots[site] = min(ceiling, current + cfg.step_up)
+        elif blocked == 0 and busy < current and current > provisioned:
+            self._slots[site] = max(provisioned, current - cfg.step_down)
+        if self._slots[site] != current:
+            self._last_change[site] = now
+            if self._slots[site] > current:
+                self.scale_ups += 1
+            else:
+                self.scale_downs += 1
+            telemetry.gauge_set(
+                "adaptive_site_slots", float(self._slots[site]), site=site
+            )
+        return self._slots[site]
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "slots": dict(sorted(self._slots.items())),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+        }

@@ -1,0 +1,65 @@
+"""The one object the adaptive layer threads through the system.
+
+:class:`AdaptiveController` bundles the shared estimator, the
+speculation policy + ledger, and the autoscaler configuration so that
+:class:`~repro.core.vds.VirtualDataSystem` needs a single optional
+constructor argument.  Each sub-mechanism is independently optional:
+
+* ``speculation=None`` — no straggler duplicates in either executor;
+* ``autoscale=None`` — the simulator runs the provisioned topology;
+* ``predictive=False`` — site selection stays purely health-gated.
+
+The estimator always exists (it is cheap and both mechanisms feed on
+it), but nothing observes into it unless an executor holds the
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adaptive.autoscale import AutoscaleConfig, SiteAutoscaler
+from repro.adaptive.estimator import SiteLatencyEstimator
+from repro.adaptive.speculation import SpeculationPolicy, SpeculationTracker
+from repro.services.transport import CostMeter
+
+
+class AdaptiveController:
+    """Shared state of the adaptive-execution layer."""
+
+    def __init__(
+        self,
+        *,
+        speculation: SpeculationPolicy | None = None,
+        autoscale: AutoscaleConfig | None = None,
+        predictive: bool = True,
+        meter: CostMeter | None = None,
+        hysteresis: float = 0.15,
+    ) -> None:
+        self.estimator = SiteLatencyEstimator()
+        self.speculation = speculation
+        self.autoscale = autoscale
+        self.predictive = predictive
+        self.hysteresis = hysteresis
+        #: duplicate cost is charged here under the ``speculative``
+        #: category — the environment's meter when one exists.
+        self.tracker = SpeculationTracker(meter)
+        #: the most recent simulator run's slot overlay (the autoscaler is
+        #: per-run; the simulator parks it here so dashboards can read the
+        #: final slot counts and decision tallies)
+        self.last_autoscaler: "SiteAutoscaler | None" = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state for ``/health`` and ``repro top``."""
+        return {
+            "speculation": self.tracker.snapshot(),
+            "sites": self.estimator.snapshot(),
+            "predictive": self.predictive,
+            "speculation_enabled": self.speculation is not None,
+            "autoscale_enabled": self.autoscale is not None,
+            **(
+                {"autoscale": self.last_autoscaler.snapshot()}
+                if self.last_autoscaler is not None
+                else {}
+            ),
+        }

@@ -1,0 +1,70 @@
+"""Deadline-aware degradation: predict completion, shed before you miss.
+
+A campaign submitted with an SLO deadline should *narrow* when the Grid
+slows down, not silently blow through the deadline with its full job
+set.  :class:`DeadlineTracker` keeps a decayed mean of completed-job
+durations and predicts when the current queue will drain; the workload
+manager consults :meth:`should_shed` after every completion and cancels
+the lowest-priority queued jobs (journaled as ``deadline-shed`` events)
+until the prediction fits the deadline again.
+
+The tracker is advisory and lock-free from the caller's perspective:
+the manager calls it while already holding its own condition lock.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.estimator import DecayedReservoir
+
+
+class DeadlineTracker:
+    """Predicted campaign completion against a relative deadline."""
+
+    def __init__(self, deadline_s: float, started_at: float) -> None:
+        if deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive")
+        self.deadline_s = deadline_s
+        self.started_at = started_at
+        self._durations = DecayedReservoir(window=64, decay=0.9)
+
+    def observe(self, duration_s: float) -> None:
+        """Record one completed job's run duration."""
+        self._durations.observe(max(0.0, duration_s))
+
+    @property
+    def samples(self) -> int:
+        return len(self._durations)
+
+    def predicted_completion(
+        self, now: float, queued: int, running: int, parallelism: int
+    ) -> float | None:
+        """Seconds-since-start at which the queue is predicted to drain.
+
+        ``None`` until at least one job completed (no basis to predict —
+        shedding on zero information would cancel work for nothing).
+        Remaining work is ``(queued + running) × mean_duration`` spread
+        over ``parallelism`` workers; running jobs are counted whole
+        (conservative: we do not know how far along they are).
+        """
+        mean = self._durations.mean()
+        if mean is None:
+            return None
+        remaining = queued + running
+        if remaining == 0:
+            return now - self.started_at
+        waves = -(-remaining // max(1, parallelism))  # ceil division
+        return (now - self.started_at) + waves * mean
+
+    def should_shed(
+        self, now: float, queued: int, running: int, parallelism: int
+    ) -> bool:
+        """Would the campaign, as queued, miss its deadline?"""
+        predicted = self.predicted_completion(now, queued, running, parallelism)
+        return predicted is not None and predicted > self.deadline_s
+
+    def snapshot(self, now: float) -> dict[str, float | None]:
+        return {
+            "deadline_s": self.deadline_s,
+            "elapsed_s": round(now - self.started_at, 4),
+            "mean_job_s": self._durations.mean(),
+        }

@@ -1,0 +1,94 @@
+"""Cost-predictive site selection with hysteresis.
+
+:class:`PredictiveSiteSelector` is a decorator in the same shape as
+:class:`~repro.pegasus.site_selector.HealthAwareSiteSelector`: it wraps
+any base policy and only overrides the choice when the estimator has
+enough history to rank candidates by *predicted completion time* —
+expected node duration scaled by the backlog this selector has already
+assigned to the site.  Composition order in the planner factory is
+
+    HealthAwareSiteSelector(PredictiveSiteSelector(base))
+
+so hard-failed sites are removed before prediction ever sees them, and
+prediction refines (never fights) the health gate.
+
+Hysteresis: switching the preferred site requires the challenger to beat
+the incumbent's predicted completion by ``hysteresis`` (a fraction) —
+one outlier sample cannot thrash placement between two near-equal sites,
+which matters because thrashing defeats input-locality and warm caches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import telemetry
+from repro.adaptive.estimator import SiteLatencyEstimator
+from repro.pegasus.site_selector import SiteSelector
+
+#: History below which prediction abstains and the base policy decides.
+MIN_SAMPLES = 3
+
+
+class PredictiveSiteSelector(SiteSelector):
+    """Rank candidates by predicted completion; fall back to the base."""
+
+    def __init__(
+        self,
+        base: SiteSelector,
+        estimator: SiteLatencyEstimator,
+        capacities: dict[str, int] | None = None,
+        hysteresis: float = 0.15,
+        min_samples: int = MIN_SAMPLES,
+    ) -> None:
+        if not 0.0 <= hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be in [0, 1), got {hysteresis}")
+        self.base = base
+        self.estimator = estimator
+        self.capacities = dict(capacities or {})
+        self.hysteresis = hysteresis
+        self.min_samples = min_samples
+        self._assigned: dict[str, int] = defaultdict(int)
+        self._preferred: str | None = None
+
+    def _predicted_completion(self, site: str) -> float | None:
+        """Expected duration inflated by the backlog already placed here."""
+        duration = self.estimator.predict(site)
+        if duration is None:
+            return None
+        capacity = max(1, self.capacities.get(site, 1))
+        return duration * (1.0 + self._assigned[site] / capacity)
+
+    def choose(self, job_id: str, candidate_sites: list[str]) -> str:
+        self._require(job_id, candidate_sites)
+        scored: dict[str, float] = {}
+        for site in candidate_sites:
+            if self.estimator.samples(site) < self.min_samples:
+                continue
+            predicted = self._predicted_completion(site)
+            if predicted is not None:
+                scored[site] = predicted
+        # Prediction only takes over once every candidate has history:
+        # ranking a known site against an unknown one would starve the
+        # unknown site of the samples it needs to ever be ranked.
+        if len(scored) < len(candidate_sites):
+            site = self.base.choose(job_id, candidate_sites)
+            self._assigned[site] += 1
+            return site
+        best = min(sorted(scored), key=lambda s: scored[s])
+        choice = best
+        incumbent = self._preferred
+        if (
+            incumbent is not None
+            and incumbent in scored
+            and best != incumbent
+            and scored[best] >= scored[incumbent] * (1.0 - self.hysteresis)
+        ):
+            # The challenger's edge is within the hysteresis band: stay.
+            choice = incumbent
+        if choice != incumbent:
+            telemetry.count("adaptive_placement_switches_total", site=choice)
+        self._preferred = choice
+        self._assigned[choice] += 1
+        telemetry.count("adaptive_predictive_choices_total", site=choice)
+        return choice

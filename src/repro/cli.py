@@ -322,6 +322,10 @@ def cmd_queue(args: argparse.Namespace) -> int:
                     **record.as_record(),
                     "cache_hit": record.cache_hit,
                     "error": record.error,
+                    # Adaptive-execution annotations replayed from the
+                    # journal: straggler duplicates and deadline shedding.
+                    "speculated": bool(record.extra.get("speculated", False)),
+                    "shed": bool(record.extra.get("shed", False)),
                     # Wall-clock journal stamps: when the job was accepted,
                     # started and finished, plus the queue wait they imply.
                     **_wall_times(record),
@@ -341,7 +345,7 @@ def cmd_queue(args: argparse.Namespace) -> int:
         return 0
     print(
         f"{'seq':>4s} {'job id':<22s} {'user':<10s} {'cluster':<10s} "
-        f"{'prio':>4s} {'shard':<6s} {'state':<10s} {'cache':>5s} error"
+        f"{'prio':>4s} {'shard':<6s} {'state':<10s} {'cache':>5s} {'spec':>4s} error"
     )
     counts: dict[str, int] = {}
     for record in state.jobs.values():
@@ -351,6 +355,7 @@ def cmd_queue(args: argparse.Namespace) -> int:
             f"{record.spec.cluster:<10s} {record.spec.priority:>4d} "
             f"{record.shard or '-':<6s} "
             f"{record.state.value:<10s} {'yes' if record.cache_hit else '-':>5s} "
+            f"{'yes' if record.extra.get('speculated') else '-':>4s} "
             f"{record.error or ''}"
         )
     summary = ", ".join(f"{state_}={n}" for state_, n in sorted(counts.items()))
@@ -867,7 +872,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--profile", default="recoverable",
-        help="fault profile (recoverable, degraded-archives, grid-down)",
+        help=(
+            "fault profile (recoverable, degraded-archives, grid-down, "
+            "slow-site, worker-crash)"
+        ),
     )
     p.add_argument(
         "--cluster", action="append", default=[], metavar="NAME",

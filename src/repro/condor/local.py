@@ -12,6 +12,7 @@ DAGMan state transitions confined to the driver thread.
 from __future__ import annotations
 
 import contextvars
+import heapq
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -34,6 +35,7 @@ from repro.rls.rls import Replica, ReplicaLocationService
 from repro.rls.site import StorageSite
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.adaptive import AdaptiveController
     from repro.faults.plan import FaultInjector
 from repro.utils.events import EventLog
 from repro.workflow.abstract import AbstractJob
@@ -141,6 +143,7 @@ class LocalExecutor:
         faults: "FaultInjector | None" = None,
         health: SiteHealthTracker | None = None,
         gram_retry: RetryPolicy | None = None,
+        adaptive: "AdaptiveController | None" = None,
     ) -> None:
         self.sites = dict(sites)
         self.registry = registry
@@ -163,6 +166,13 @@ class LocalExecutor:
         self.health = health
         #: Retry policy for GRAM submission (transient gatekeeper refusals).
         self.gram_retry = gram_retry
+        #: Adaptive-execution layer.  When armed with a speculation policy,
+        #: a compute node running past its class budget gets a duplicate
+        #: task attributed to the next-best site; first result wins and the
+        #: loser's elapsed seconds are charged as ``speculative`` waste.
+        #: Registration nodes are never duplicated, so the RLS sees each
+        #: (lfn, pfn, site) exactly once.
+        self.adaptive = adaptive
         self._rls_lock = threading.Lock()
 
     # -- storage helpers -----------------------------------------------------
@@ -369,6 +379,12 @@ class LocalExecutor:
             f"{node_id!r} (attempt {attempt})"
         )
 
+    @staticmethod
+    def _with_delay(delay_s: float, fn: Callable[..., int], *args: object) -> int:
+        """Worker body prefixed with an injected wall stall (slow-site chaos)."""
+        time.sleep(delay_s)
+        return fn(*args)
+
     # -- the driver loop -----------------------------------------------------------
     def execute(
         self,
@@ -398,7 +414,7 @@ class LocalExecutor:
         completed: set[str] | None = None,
         forced_failures: dict[str, int] | None = None,
     ) -> ExecutionReport:
-        from repro.condor.simulator import merge_forced_failures
+        from repro.condor.simulator import merge_forced_failures, node_class
 
         forced = merge_forced_failures(workflow, self.forced_failures, forced_failures)
         dagman = DagmanState(workflow.dag, max_retries=self.max_retries, completed=completed)
@@ -408,68 +424,218 @@ class LocalExecutor:
         in_flight: dict[Future, str] = {}
         retries = 0
 
+        adaptive = self.adaptive
+        spec_policy = adaptive.speculation if adaptive is not None else None
+        estimator = adaptive.estimator if adaptive is not None else None
+        tracker = adaptive.tracker if adaptive is not None else None
+
+        # per-future bookkeeping for the speculation race: attributed site,
+        # launch time, duplicate flag.  A node's outcome is decided by its
+        # first finished copy; later copies are stale and skipped (their
+        # deterministic double-writes land byte-identical content).
+        future_meta: dict[Future, tuple[str, float, bool]] = {}
+        node_futures: dict[str, list[Future]] = {}
+        resolved: set[str] = set()
+        speculated: set[str] = set()
+        spec_deadlines: list[tuple[float, str]] = []
+        active_dups = 0
+
         def now() -> float:
             return time.perf_counter() - t0
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
 
+            def submit_body(
+                payload: object, node_id: str, attempt: int, delay_s: float
+            ) -> Future:
+                if telemetry.enabled():
+                    # a copied Context can be entered once, so copy per task
+                    ctx = contextvars.copy_context()
+                    if delay_s > 0:
+                        return pool.submit(
+                            self._with_delay, delay_s, ctx.run,
+                            self._traced_run_node, workflow, node_id, payload, attempt,
+                        )
+                    return pool.submit(
+                        ctx.run, self._traced_run_node, workflow, node_id, payload, attempt
+                    )
+                if delay_s > 0:
+                    return pool.submit(self._with_delay, delay_s, self._run_node, payload)
+                return pool.submit(self._run_node, payload)
+
+            def spec_budget(payload: object) -> float | None:
+                assert spec_policy is not None and estimator is not None
+                cls = node_class(payload)
+                if estimator.class_samples(cls) < spec_policy.min_samples:
+                    return None
+                quantile = estimator.best_quantile(cls, spec_policy.quantile)
+                if quantile is None:
+                    return None
+                return max(spec_policy.min_budget_s, quantile * spec_policy.p95_multiplier)
+
+            def track_future(
+                future: Future, node_id: str, site: str, duplicate: bool
+            ) -> None:
+                in_flight[future] = node_id
+                future_meta[future] = (site, now(), duplicate)
+                node_futures.setdefault(node_id, []).append(future)
+
             def launch_ready() -> None:
                 for node_id in dagman.ready_nodes():
                     dagman.mark_running(node_id)
                     first_start.setdefault(node_id, now())
+                    resolved.discard(node_id)
+                    node_futures.pop(node_id, None)
                     payload = workflow.dag.payload(node_id)
                     attempt = dagman.attempts[node_id]
+                    site = _payload_site(payload)
+                    kind = _payload_kind(payload)
                     if attempt <= forced.get(node_id, 0):
-                        future = pool.submit(self._forced_failure, node_id, attempt)
-                        in_flight[future] = node_id
+                        track_future(
+                            pool.submit(self._forced_failure, node_id, attempt),
+                            node_id, site, False,
+                        )
                         continue
                     if self.faults is not None:
-                        site = _payload_site(payload)
-                        kind = _payload_kind(payload)
                         if kind == "compute" and self.faults.site_attempt_fails(
                             site, node_id, attempt
                         ):
-                            future = pool.submit(
-                                self._injected_site_failure, node_id, site, attempt
+                            track_future(
+                                pool.submit(
+                                    self._injected_site_failure, node_id, site, attempt
+                                ),
+                                node_id, site, False,
                             )
-                            in_flight[future] = node_id
                             continue
                         if kind == "transfer" and self.faults.transfer_fails(
                             site, node_id, attempt
                         ):
-                            future = pool.submit(
-                                self._injected_transfer_failure, node_id, site, attempt
+                            track_future(
+                                pool.submit(
+                                    self._injected_transfer_failure, node_id, site, attempt
+                                ),
+                                node_id, site, False,
                             )
-                            in_flight[future] = node_id
                             continue
-                    if telemetry.enabled():
-                        # a copied Context can be entered once, so copy per task
-                        ctx = contextvars.copy_context()
-                        future = pool.submit(
-                            ctx.run,
-                            self._traced_run_node,
-                            workflow,
-                            node_id,
-                            payload,
-                            dagman.attempts[node_id],
-                        )
-                    else:
-                        future = pool.submit(self._run_node, payload)
-                    in_flight[future] = node_id
+                    delay_s = (
+                        self.faults.site_wall_delay(site, node_id, attempt)
+                        if self.faults is not None and kind == "compute"
+                        else 0.0
+                    )
+                    track_future(
+                        submit_body(payload, node_id, attempt, delay_s),
+                        node_id, site, False,
+                    )
+                    if spec_policy is not None and kind == "compute":
+                        budget = spec_budget(payload)
+                        if budget is not None:
+                            heapq.heappush(spec_deadlines, (now() + budget, node_id))
+
+            def launch_duplicate(node_id: str) -> bool:
+                """Second copy of a straggler, attributed to the next-best
+                site.  The body is the original's (bytes live at the planned
+                site; both copies are deterministic), so whichever finishes
+                first yields identical outputs.  Never duplicates transfers
+                or registrations."""
+                nonlocal active_dups
+                payload = workflow.dag.payload(node_id)
+                origin = _payload_site(payload)
+                best: tuple[float, str] | None = None
+                assert estimator is not None
+                for site in estimator.sites():
+                    if site == origin or site not in self.sites:
+                        continue
+                    predicted = estimator.predict(site, node_class(payload))
+                    if predicted is None:
+                        continue
+                    if best is None or predicted < best[0]:
+                        best = (predicted, site)
+                if best is None:
+                    fallback = sorted(s for s in self.sites if s != origin)
+                    if not fallback:
+                        return False
+                    alt = fallback[0]
+                else:
+                    alt = best[1]
+                attempt = dagman.attempts[node_id]
+                delay_s = (
+                    self.faults.site_wall_delay(alt, node_id, attempt)
+                    if self.faults is not None
+                    else 0.0
+                )
+                track_future(
+                    submit_body(payload, node_id, attempt, delay_s), node_id, alt, True
+                )
+                speculated.add(node_id)
+                active_dups += 1
+                report.speculated += 1
+                if tracker is not None:
+                    tracker.record_launch(alt, node_id)
+                self.events.emit(
+                    now(), "local-executor", "node-speculated",
+                    node=node_id, from_site=origin, to_site=alt,
+                )
+                return True
+
+            def fire_due_speculation() -> None:
+                if spec_policy is None:
+                    return
+                t = now()
+                while spec_deadlines and spec_deadlines[0][0] <= t:
+                    _, node_id = heapq.heappop(spec_deadlines)
+                    if node_id in resolved or node_id in speculated:
+                        continue
+                    if not any(f in in_flight for f in node_futures.get(node_id, ())):
+                        continue  # already finished (or failed into a retry)
+                    if active_dups >= spec_policy.max_active:
+                        # over the duplicate cap: look again shortly
+                        heapq.heappush(spec_deadlines, (t + 0.05, node_id))
+                        return
+                    launch_duplicate(node_id)
 
             launch_ready()
             while in_flight:
-                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                timeout = None
+                if spec_policy is not None and spec_deadlines:
+                    timeout = max(0.0, spec_deadlines[0][0] - now())
+                done, _ = wait(list(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
                 for future in done:
                     node_id = in_flight.pop(future)
+                    site, started, duplicate = future_meta.pop(future)
                     payload = workflow.dag.payload(node_id)
+                    if duplicate:
+                        active_dups -= 1
+                    if node_id in resolved:
+                        continue  # a sibling copy already decided this node
                     exc = future.exception()
                     if self.health is not None:
                         if exc is None:
-                            self.health.record_success(_payload_site(payload))
+                            self.health.record_success(site)
                         else:
-                            self.health.record_failure(_payload_site(payload))
+                            self.health.record_failure(site)
+                    siblings = [
+                        f for f in node_futures.get(node_id, ()) if f in in_flight
+                    ]
                     if exc is None:
+                        resolved.add(node_id)
+                        for loser in siblings:
+                            loser.cancel()
+                            loser_site, loser_started, _ = future_meta[loser]
+                            report.spec_wasted += 1
+                            if tracker is not None:
+                                tracker.record_waste(
+                                    loser_site, node_id, now() - loser_started
+                                )
+                            self.events.emit(
+                                now(), "local-executor", "node-spec-cancelled",
+                                node=node_id, site=loser_site,
+                            )
+                        if duplicate:
+                            report.spec_won += 1
+                            if tracker is not None:
+                                tracker.record_win(site, node_id)
+                        if estimator is not None and _payload_kind(payload) == "compute":
+                            estimator.observe(site, node_class(payload), now() - started)
                         dagman.mark_success(node_id)
                         telemetry.count("workflow_nodes_total", state="succeeded")
                         if isinstance(payload, TransferNode):
@@ -478,8 +644,18 @@ class LocalExecutor:
                             report.bytes_moved += future.result()
                             telemetry.count("workflow_bytes_moved_total", future.result())
                         self._record_run(report, dagman, payload, node_id, first_start, now(), True, "")
+                    elif siblings:
+                        # this copy lost by failing; the race is still live
+                        report.spec_wasted += 1
+                        if tracker is not None:
+                            tracker.record_waste(site, node_id, now() - started)
+                        self.events.emit(
+                            now(), "local-executor", "node-spec-copy-failed",
+                            node=node_id, site=site, error=str(exc),
+                        )
                     else:
                         will_retry = dagman.mark_failure(node_id)
+                        speculated.discard(node_id)  # a retry may speculate anew
                         self.events.emit(
                             now(), "local-executor", "node-failed",
                             node=node_id, error=str(exc), retry=will_retry,
@@ -492,6 +668,7 @@ class LocalExecutor:
                             self._record_run(
                                 report, dagman, payload, node_id, first_start, now(), False, str(exc)
                             )
+                fire_due_speculation()
                 launch_ready()
 
         report.makespan = now()

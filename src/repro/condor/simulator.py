@@ -6,13 +6,29 @@ time.  Compute nodes occupy pool slots and take
 nodes take the GridFTP latency+bandwidth time of the topology; failure
 injection happens per attempt at the pool's ``failure_rate``.  DAGMan
 semantics (release, retry, rescue) come from :class:`DagmanState`.
+
+With an :class:`~repro.adaptive.AdaptiveController` attached the engine
+additionally models the SLO-driven execution layer:
+
+* **tail latency** — a chaos plan's ``slow_factor``/``slow_sigma`` spec
+  multiplies compute durations per attempt (the slow-but-alive site);
+* **speculation** — a compute node running past its class's budget
+  (best-site p95 × multiplier) gets a duplicate on the next-best site;
+  first finish wins, the loser is cancelled (slot freed immediately,
+  elapsed seconds charged as ``speculative`` waste);
+* **autoscaling** — per-site slot counts grow against blocked demand and
+  shrink back to the provisioned floor, with cooldowns.
+
+When the controller is ``None`` (the default) none of that code runs and
+the event schedule — including every RNG draw — is identical to the
+pre-adaptive engine.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -26,6 +42,7 @@ from repro.utils.events import EventLog
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.adaptive import AdaptiveController
     from repro.faults.plan import FaultInjector
 from repro.workflow.concrete import (
     ClusteredComputeNode,
@@ -90,6 +107,29 @@ class SimulationOptions:
     job_overhead_s: float = 0.0
 
 
+def node_class(payload: object) -> str:
+    """The estimator/speculation class of a compute payload.
+
+    Clustered bundles are a different class from single nodes — their
+    duration scales with member count, so they must not share a budget.
+    """
+    if isinstance(payload, ComputeNode):
+        return payload.transformation
+    if isinstance(payload, ClusteredComputeNode):
+        return f"{payload.transformation}*{len(payload.members)}"
+    raise TypeError(f"no node class for {type(payload).__name__}")
+
+
+def payload_with_site(payload: object, site: str) -> object:
+    """A compute payload re-pinned to ``site`` (speculative duplicates)."""
+    if isinstance(payload, ComputeNode):
+        return replace(payload, site=site)
+    if isinstance(payload, ClusteredComputeNode):
+        members = tuple(replace(m, site=site) for m in payload.members)
+        return replace(payload, members=members, site=site)
+    raise TypeError(f"cannot re-site {type(payload).__name__}")
+
+
 class GridSimulator:
     """Runs concrete workflows in virtual time over a :class:`GridTopology`."""
 
@@ -102,6 +142,7 @@ class GridSimulator:
         mds: "MonitoringService | None" = None,
         faults: "FaultInjector | None" = None,
         health: SiteHealthTracker | None = None,
+        adaptive: "AdaptiveController | None" = None,
     ) -> None:
         self.topology = topology
         self.options = options if options is not None else SimulationOptions()
@@ -114,6 +155,9 @@ class GridSimulator:
         self.faults = faults
         #: shared circuit-breaker ledger fed with per-attempt outcomes
         self.health = health
+        #: the adaptive-execution layer (speculation + autoscaling);
+        #: ``None`` keeps the event schedule identical to the static engine
+        self.adaptive = adaptive
 
     # -- duration / failure models ------------------------------------------------
     def _compute_duration(self, node: ComputeNode, rng: np.random.Generator) -> float:
@@ -224,13 +268,50 @@ class GridSimulator:
         )
         rng = derive_rng(self.options.seed, "simulator")
 
+        adaptive = self.adaptive
+        spec_policy = adaptive.speculation if adaptive is not None else None
+        estimator = adaptive.estimator if adaptive is not None else None
+        tracker = adaptive.tracker if adaptive is not None else None
+        autoscaler = None
+        if adaptive is not None and adaptive.autoscale is not None:
+            from repro.adaptive.autoscale import SiteAutoscaler
+
+            autoscaler = SiteAutoscaler(
+                {name: pool.slots for name, pool in self.topology.pools.items()},
+                adaptive.autoscale,
+            )
+            adaptive.last_autoscaler = autoscaler
+
         clock = 0.0
         seq = itertools.count()
-        heap: list[tuple[float, int, str]] = []
+        run_seq = itertools.count()
+        #: (fire_time, seq, event, node_id, run_id) — "finish" completes a
+        #: run; "spec" re-examines one that may have become a straggler.
+        heap: list[tuple[float, int, str, str, int]] = []
         slots_busy: dict[str, int] = {name: 0 for name in self.topology.pools}
         first_start: dict[str, float] = {}
         retries = 0
         report = ExecutionReport()
+
+        # per-run bookkeeping; a node has >1 active run only while a
+        # speculative duplicate races the original
+        run_payload: dict[int, object] = {}
+        run_site: dict[int, str] = {}
+        run_start: dict[int, float] = {}
+        run_slot_site: dict[int, str] = {}
+        node_runs: dict[str, set[int]] = {}
+        finished_runs: set[int] = set()
+        cancelled: set[int] = set()
+        duplicate_runs: set[int] = set()
+        speculated_nodes: set[str] = set()
+        site_override: dict[str, str] = {}
+        blocked: dict[str, int] = {}
+        active_duplicates = 0
+
+        def site_limit(site: str) -> int:
+            if autoscaler is not None:
+                return autoscaler.slots(site)
+            return self.topology.pool(site).slots
 
         def publish_load(site: str) -> None:
             if self.mds is None:
@@ -257,7 +338,16 @@ class GridSimulator:
                 return payload.site
             raise TypeError(type(payload).__name__)
 
-        def record_node(node_id: str, payload: object, attempt: int, success: bool) -> None:
+        def active_runs(node_id: str) -> set[int]:
+            return {
+                r
+                for r in node_runs.get(node_id, ())
+                if r not in finished_runs and r not in cancelled
+            }
+
+        def record_node(
+            node_id: str, payload: object, attempt: int, success: bool, site: str
+        ) -> None:
             """Publish the finished node as a synthetic sim-clock span."""
             if not telemetry.enabled():
                 return
@@ -269,7 +359,7 @@ class GridSimulator:
                 clock="sim",
                 node=node_id,
                 kind=_kind(payload),
-                site=site_of(payload),
+                site=site,
                 attempts=attempt,
                 deps=sorted(workflow.dag.parents(node_id)),
             )
@@ -277,31 +367,182 @@ class GridSimulator:
                 "workflow_nodes_total", state="succeeded" if success else "failed"
             )
 
+        def spec_budget(payload: object) -> float | None:
+            """Straggler threshold for this payload's class, or ``None``
+            while the estimator lacks history."""
+            assert spec_policy is not None and estimator is not None
+            cls = node_class(payload)
+            if estimator.class_samples(cls) < spec_policy.min_samples:
+                return None
+            quantile = estimator.best_quantile(cls, spec_policy.quantile)
+            if quantile is None:
+                return None
+            return max(spec_policy.min_budget_s, quantile * spec_policy.p95_multiplier)
+
+        def start_run(node_id: str, payload: object, holds_slot: bool) -> int:
+            nonlocal clock
+            duration = self._duration(payload, rng)
+            attempt = dagman.attempts[node_id]
+            if self.faults is not None and isinstance(
+                payload, (ComputeNode, ClusteredComputeNode)
+            ):
+                factor = self.faults.site_slowdown(payload.site, node_id, attempt)
+                if factor > 1.0:
+                    duration *= factor
+            rid = next(run_seq)
+            run_payload[rid] = payload
+            run_site[rid] = site_of(payload)
+            run_start[rid] = clock
+            if holds_slot:
+                run_slot_site[rid] = payload.site
+            node_runs.setdefault(node_id, set()).add(rid)
+            heapq.heappush(heap, (clock + duration, next(seq), "finish", node_id, rid))
+            return rid
+
         def try_start(node_id: str) -> bool:
             payload = workflow.dag.payload(node_id)
-            if isinstance(payload, (ComputeNode, ClusteredComputeNode)) and payload.site in slots_busy:
-                pool = self.topology.pool(payload.site)
-                if slots_busy[payload.site] >= pool.slots:
+            compute = isinstance(payload, (ComputeNode, ClusteredComputeNode))
+            holds_slot = compute and payload.site in slots_busy
+            if holds_slot:
+                if slots_busy[payload.site] >= site_limit(payload.site):
+                    blocked[payload.site] = blocked.get(payload.site, 0) + 1
                     return False
                 slots_busy[payload.site] += 1
                 publish_load(payload.site)
             dagman.mark_running(node_id)
             first_start.setdefault(node_id, clock)
-            duration = self._duration(payload, rng)
-            heapq.heappush(heap, (clock + duration, next(seq), node_id))
+            rid = start_run(node_id, payload, holds_slot)
+            if spec_policy is not None and compute:
+                budget = spec_budget(payload)
+                if budget is not None:
+                    heapq.heappush(heap, (clock + budget, next(seq), "spec", node_id, rid))
             return True
 
         def start_all_ready() -> None:
+            blocked.clear()
             for node_id in dagman.ready_nodes():
                 try_start(node_id)
+            if autoscaler is None:
+                return
+            grew = False
+            for site in sorted(slots_busy):
+                before = autoscaler.slots(site)
+                after = autoscaler.evaluate(
+                    site, blocked.get(site, 0), slots_busy[site], clock
+                )
+                grew = grew or after > before
+            if grew:
+                # the grant may admit blocked nodes right now
+                for node_id in dagman.ready_nodes():
+                    try_start(node_id)
+
+        def free_slot(rid: int) -> None:
+            slot_site = run_slot_site.pop(rid, None)
+            if slot_site is not None:
+                slots_busy[slot_site] -= 1
+                publish_load(slot_site)
+
+        def cancel_run(rid: int, node_id: str) -> None:
+            """Lose the race: slot back immediately, elapsed charged."""
+            nonlocal active_duplicates
+            cancelled.add(rid)
+            free_slot(rid)
+            if rid in duplicate_runs:
+                active_duplicates -= 1
+            elapsed = clock - run_start[rid]
+            report.spec_wasted += 1
+            if tracker is not None:
+                tracker.record_waste(run_site[rid], node_id, elapsed)
+            self.events.emit(
+                clock,
+                "simulator",
+                "node-spec-cancelled",
+                node=node_id,
+                site=run_site[rid],
+                wasted_s=round(elapsed, 3),
+            )
+
+        def launch_duplicate(node_id: str, rid: int) -> bool:
+            """Duplicate a straggling run on the next-best site with a free
+            slot; shares the node's attempt number (and hence its
+            derivation signature), so either result is acceptable."""
+            nonlocal active_duplicates
+            payload = run_payload[rid]
+            best: tuple[float, str] | None = None
+            for site in sorted(slots_busy):
+                if site == payload.site:
+                    continue
+                if slots_busy[site] >= site_limit(site):
+                    continue
+                predicted = (
+                    estimator.predict(site, node_class(payload))
+                    if estimator is not None
+                    else None
+                )
+                if predicted is None:
+                    pool = self.topology.pools[site]
+                    base = self.options.runtimes.get(
+                        node_class(payload).split("*")[0], DEFAULT_RUNTIME_FALLBACK
+                    )
+                    predicted = base / pool.speed
+                if best is None or predicted < best[0]:
+                    best = (predicted, site)
+            if best is None:
+                return False
+            dup_payload = payload_with_site(payload, best[1])
+            slots_busy[best[1]] += 1
+            publish_load(best[1])
+            dup_rid = start_run(node_id, dup_payload, holds_slot=True)
+            duplicate_runs.add(dup_rid)
+            active_duplicates += 1
+            speculated_nodes.add(node_id)
+            report.speculated += 1
+            if tracker is not None:
+                tracker.record_launch(best[1], node_id)
+            self.events.emit(
+                clock,
+                "simulator",
+                "node-speculated",
+                node=node_id,
+                from_site=run_site[rid],
+                to_site=best[1],
+                running_s=round(clock - run_start[rid], 3),
+            )
+            return True
 
         start_all_ready()
         while heap:
-            clock, _, node_id = heapq.heappop(heap)
-            payload = workflow.dag.payload(node_id)
-            if isinstance(payload, (ComputeNode, ClusteredComputeNode)) and payload.site in slots_busy:
-                slots_busy[payload.site] -= 1
-                publish_load(payload.site)
+            clock, _, event, node_id, rid = heapq.heappop(heap)
+
+            if event == "spec":
+                # still a live straggler? (not finished, not cancelled, not
+                # already duplicated — one duplicate per node per attempt)
+                if (
+                    rid in finished_runs
+                    or rid in cancelled
+                    or node_id in speculated_nodes
+                    or rid not in active_runs(node_id)
+                ):
+                    continue
+                assert spec_policy is not None
+                if active_duplicates >= spec_policy.max_active or not launch_duplicate(
+                    node_id, rid
+                ):
+                    # no duplicate budget/slot right now: re-examine later
+                    budget = spec_budget(run_payload[rid])
+                    if budget is not None:
+                        heapq.heappush(
+                            heap, (clock + budget, next(seq), "spec", node_id, rid)
+                        )
+                continue
+
+            if rid in cancelled:
+                continue  # the slot was freed when the race was decided
+            finished_runs.add(rid)
+            free_slot(rid)
+            if rid in duplicate_runs:
+                active_duplicates -= 1
+            payload = run_payload[rid]
 
             attempt = dagman.attempts[node_id]
             failed = self._attempt_fails(node_id, payload, attempt, rng, forced, now=clock)
@@ -310,14 +551,30 @@ class GridSimulator:
                     self.health.record_failure(site_of(payload))
                 else:
                     self.health.record_success(site_of(payload))
+
             if failed:
+                survivors = active_runs(node_id)
+                if survivors:
+                    # a sibling copy is still racing — absorb this failure
+                    # as speculative waste instead of a DAGMan transition
+                    report.spec_wasted += 1
+                    if tracker is not None:
+                        tracker.record_waste(
+                            run_site[rid], node_id, clock - run_start[rid]
+                        )
+                    self.events.emit(
+                        clock, "simulator", "node-spec-copy-failed",
+                        node=node_id, site=run_site[rid],
+                    )
+                    continue
                 will_retry = dagman.mark_failure(node_id)
+                speculated_nodes.discard(node_id)  # a retry may speculate anew
                 self.events.emit(clock, "simulator", "node-failed", node=node_id, attempt=attempt, retry=will_retry)
                 if will_retry:
                     retries += 1
                     telemetry.count("workflow_retries_total")
                 else:
-                    record_node(node_id, payload, attempt, success=False)
+                    record_node(node_id, payload, attempt, False, site_of(payload))
                     report.runs.append(
                         NodeRun(
                             node_id=node_id,
@@ -330,13 +587,27 @@ class GridSimulator:
                         )
                     )
             else:
+                for other in sorted(active_runs(node_id)):
+                    cancel_run(other, node_id)
+                if rid in duplicate_runs:
+                    report.spec_won += 1
+                    site_override[node_id] = run_site[rid]
+                    if tracker is not None:
+                        tracker.record_win(run_site[rid], node_id)
+                if estimator is not None and isinstance(
+                    payload, (ComputeNode, ClusteredComputeNode)
+                ):
+                    estimator.observe(
+                        run_site[rid], node_class(payload), clock - run_start[rid]
+                    )
                 dagman.mark_success(node_id)
-                record_node(node_id, payload, attempt, success=True)
+                final_site = site_override.get(node_id, site_of(payload))
+                record_node(node_id, payload, attempt, True, final_site)
                 report.runs.append(
                     NodeRun(
                         node_id=node_id,
                         kind=_kind(payload),
-                        site=site_of(payload),
+                        site=final_site,
                         start=first_start[node_id],
                         end=clock,
                         attempts=attempt,

@@ -22,12 +22,18 @@ from repro.core.errors import ExecutionError
 from repro.core.provenance import ProvenanceStore
 from repro.pegasus.options import PlannerOptions
 from repro.pegasus.planner import PegasusPlanner, PlanResult
-from repro.pegasus.site_selector import HealthAwareSiteSelector, make_site_selector
+from repro.adaptive.selector import PredictiveSiteSelector
+from repro.pegasus.site_selector import (
+    HealthAwareSiteSelector,
+    SiteSelector,
+    make_site_selector,
+)
 from repro.resilience.breaker import SiteHealthTracker
 from repro.resilience.retry import RetryPolicy
 from repro.rls.rls import ReplicaLocationService
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.adaptive import AdaptiveController
     from repro.faults.plan import FaultInjector
 from repro.rls.site import StorageSite
 from repro.tc.catalog import TransformationCatalog
@@ -59,6 +65,7 @@ class VirtualDataSystem:
         faults: "FaultInjector | None" = None,
         health: SiteHealthTracker | None = None,
         gram_retry: RetryPolicy | None = None,
+        adaptive: "AdaptiveController | None" = None,
     ) -> None:
         self.topology = topology if topology is not None else GridTopology.default_demo()
         self.events = EventLog()
@@ -70,6 +77,11 @@ class VirtualDataSystem:
         #: sites whose breaker is OPEN)
         self.health = health
         self.gram_retry = gram_retry
+        #: adaptive-execution layer: cost-predictive site selection wraps
+        #: the configured policy, and both executors speculate/autoscale
+        #: against its shared estimator.  ``None`` keeps planning and
+        #: execution byte-for-byte identical to the static system.
+        self.adaptive = adaptive
         self.rls = ReplicaLocationService(self.events, faults=faults)
         self.tc = TransformationCatalog()
         self.registry = ExecutableRegistry()
@@ -90,18 +102,36 @@ class VirtualDataSystem:
             size_estimator=self._size_estimator,
             event_log=self.events,
             site_selector_factory=(
-                self._health_aware_selector if self.health is not None else None
+                self._adaptive_selector
+                if self.health is not None or self._predictive_enabled()
+                else None
             ),
         )
 
-    def _health_aware_selector(self) -> HealthAwareSiteSelector:
-        """Planner hook: the configured policy filtered by site health."""
-        base = make_site_selector(
+    def _predictive_enabled(self) -> bool:
+        return self.adaptive is not None and self.adaptive.predictive
+
+    def _adaptive_selector(self) -> "SiteSelector":
+        """Planner hook: the configured policy, cost-predicted by the
+        latency estimator when the adaptive layer is armed, then filtered
+        by site health.  Health gating wraps *outside* prediction so an
+        OPEN breaker vetoes even the cheapest-looking site."""
+        selector: "SiteSelector" = make_site_selector(
             self.planner_options.site_selection,
             seed=self.planner_options.seed,
             capacities=self.topology.capacities(),
         )
-        return HealthAwareSiteSelector(base, self.health)
+        if self._predictive_enabled():
+            assert self.adaptive is not None
+            selector = PredictiveSiteSelector(
+                selector,
+                self.adaptive.estimator,
+                capacities=self.topology.capacities(),
+                hysteresis=self.adaptive.hysteresis,
+            )
+        if self.health is not None:
+            selector = HealthAwareSiteSelector(selector, self.health)
+        return selector
 
     # -- wiring helpers --------------------------------------------------------
     def _pfn_resolver(self, site: str, lfn: str) -> str:
@@ -183,6 +213,7 @@ class VirtualDataSystem:
                 faults=self.faults,
                 health=self.health,
                 gram_retry=self.gram_retry,
+                adaptive=self.adaptive,
             )
             return executor.execute(
                 plan.concrete, completed=completed, forced_failures=forced_failures
@@ -195,6 +226,7 @@ class VirtualDataSystem:
                 event_log=self.events,
                 faults=self.faults,
                 health=self.health,
+                adaptive=self.adaptive,
             )
             return simulator.execute(
                 plan.concrete, completed=completed, forced_failures=forced_failures

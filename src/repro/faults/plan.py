@@ -119,12 +119,30 @@ class SiteFaultSpec:
     ``stage_in_failure_rate``
         Per-transfer probability that a stage-in/out copy from/to this
         site raises a transient transport error (identity-keyed).
+    ``slow_factor`` / ``slow_sigma`` / ``slow_max_factor``
+        Heavy-tail service latency: every compute attempt on this site is
+        slowed by ``slow_factor × lognormal(0, slow_sigma)``, clipped to
+        ``[1, slow_max_factor]`` and identity-keyed on ``(node_id,
+        attempt)``.  ``slow_factor=1.0`` with ``slow_sigma=0`` (the
+        default) disables the model.  The site stays *alive* — nothing
+        fails — which is exactly the adversary circuit breakers cannot
+        see and the speculation layer exists to beat.
+    ``slow_wall_unit_s`` / ``slow_wall_cap_s``
+        How the thread-pool executor realises a slowdown factor as real
+        wall time: ``min(cap, (factor - 1) × unit)`` seconds of sleep
+        before the node body.  ``unit=0`` (default) keeps local runs at
+        full speed while the simulator still sees the virtual tail.
     """
 
     outage_attempts: int = 0
     outages: tuple[tuple[float, float], ...] = ()
     flakiness: float = 0.0
     stage_in_failure_rate: float = 0.0
+    slow_factor: float = 1.0
+    slow_sigma: float = 0.0
+    slow_max_factor: float = 50.0
+    slow_wall_unit_s: float = 0.0
+    slow_wall_cap_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.outage_attempts < 0:
@@ -136,6 +154,18 @@ class SiteFaultSpec:
         for start, end in self.outages:
             if end < start:
                 raise ValueError(f"outage window ({start}, {end}) ends before it starts")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1.0 (it multiplies service time)")
+        if self.slow_sigma < 0.0:
+            raise ValueError("slow_sigma must be non-negative")
+        if self.slow_max_factor < self.slow_factor:
+            raise ValueError("slow_max_factor must be >= slow_factor")
+        if self.slow_wall_unit_s < 0.0 or self.slow_wall_cap_s < 0.0:
+            raise ValueError("slow wall-time knobs must be non-negative")
+
+    @property
+    def slow_enabled(self) -> bool:
+        return self.slow_factor > 1.0 or self.slow_sigma > 0.0
 
 
 @dataclass(frozen=True)
@@ -303,6 +333,40 @@ class FaultInjector:
                     self._record(f"site:{site}", "flake")
                 return True
         return False
+
+    def site_slowdown(self, site: str, node_id: str, attempt: int) -> float:
+        """Service-time multiplier (>= 1.0) for this attempt on ``site``.
+
+        Deterministic heavy tail: ``slow_factor × lognormal(0,
+        slow_sigma)`` clipped to ``[1, slow_max_factor]``, drawn from an
+        identity-keyed stream so a given attempt is equally slow in every
+        run and under any executor interleaving.  Sites without a slow
+        spec — and the ``faults is None`` fast path in the executors —
+        cost nothing.
+        """
+        spec = self.plan.sites.get(site)
+        if spec is None or not spec.slow_enabled:
+            return 1.0
+        rng = derive_rng(self.plan.seed, "site-slow", site, node_id, attempt)
+        factor = spec.slow_factor * float(rng.lognormal(0.0, spec.slow_sigma)) if spec.slow_sigma > 0 else spec.slow_factor
+        factor = min(max(1.0, factor), spec.slow_max_factor)
+        if factor > 1.0:
+            with self._lock:
+                self._record(f"site:{site}", "slow")
+        return factor
+
+    def site_wall_delay(self, site: str, node_id: str, attempt: int) -> float:
+        """Real seconds the thread-pool executor should stall this attempt.
+
+        ``min(slow_wall_cap_s, (slowdown - 1) × slow_wall_unit_s)`` —
+        the local engine feels the same deterministic tail shape as the
+        simulator, scaled down to test-friendly wall time.
+        """
+        spec = self.plan.sites.get(site)
+        if spec is None or not spec.slow_enabled or spec.slow_wall_unit_s <= 0.0:
+            return 0.0
+        factor = self.site_slowdown(site, node_id, attempt)
+        return min(spec.slow_wall_cap_s, (factor - 1.0) * spec.slow_wall_unit_s)
 
     def transfer_fails(self, site: str, node_id: str, attempt: int) -> bool:
         """Should this stage-in/out transfer touching ``site`` fail?"""

@@ -91,6 +91,31 @@ def _grid_down(seed: int) -> FaultPlan:
     )
 
 
+def _slow_site(seed: int) -> FaultPlan:
+    # The adversary the speculation layer must beat: UWisc stays alive
+    # (nothing ever *fails*, so circuit breakers never trip) but every
+    # compute attempt there is slowed by a deterministic lognormal tail —
+    # median 4x, p95 in the tens.  Latency never changes bytes, so the
+    # profile is recoverable by construction; the interesting assertions
+    # are the makespan gates in benchmarks/run_scale_bench.py.  The small
+    # wall unit gives local (thread-pool) runs a felt-but-bounded stall
+    # so `repro chaos --profile slow-site` exercises the real executor's
+    # straggler path in CI time.
+    return FaultPlan(
+        seed=seed,
+        sites={
+            "uwisc": SiteFaultSpec(
+                slow_factor=4.0,
+                slow_sigma=1.0,
+                slow_max_factor=40.0,
+                slow_wall_unit_s=0.02,
+                slow_wall_cap_s=0.4,
+            )
+        },
+        recoverable=True,
+    )
+
+
 def _worker_crash(seed: int) -> FaultPlan:
     # The fault is process death, not a service fault: the sharded chaos
     # harness manufactures it (SIGKILL of one shard worker mid-flight, the
@@ -104,6 +129,7 @@ _PROFILES: dict[str, Callable[[int], FaultPlan]] = {
     "recoverable": _recoverable,
     "degraded-archives": _degraded_archives,
     "grid-down": _grid_down,
+    "slow-site": _slow_site,
     "worker-crash": _worker_crash,
 }
 

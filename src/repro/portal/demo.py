@@ -19,7 +19,10 @@ turns into one avoided stage-in during the campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.adaptive import AdaptiveController
 
 from repro.condor.pool import GridTopology
 from repro.condor.simulator import SimulationOptions
@@ -92,6 +95,9 @@ class DemoEnvironment:
     fault_injector: FaultInjector | None = None
     #: per-site circuit-breaker ledger (present iff resilience is enabled)
     health: SiteHealthTracker | None = None
+    #: adaptive-execution layer (present iff built with adaptive=True);
+    #: serves /health's ``adaptive`` block and the ``repro top`` row
+    adaptive: "AdaptiveController | None" = None
 
 
 def build_demo_environment(
@@ -108,6 +114,7 @@ def build_demo_environment(
     retry_policy: RetryPolicy | None = None,
     archive_quorum: int | None = None,
     cutout_quorum: float = 1.0,
+    adaptive: bool = False,
 ) -> DemoEnvironment:
     """Construct the complete demonstration environment.
 
@@ -128,6 +135,11 @@ def build_demo_environment(
     selection, portal quorum) is armed against it.  When ``fault_plan`` is
     ``None`` none of this machinery is constructed — the fault-free
     environment is byte-for-byte the pre-chaos one.
+
+    ``adaptive=True`` arms the SLO-driven execution layer: predictive site
+    selection, speculative straggler duplicates in both executors, and a
+    shared latency estimator feeding both.  Like the chaos layer, leaving
+    it off constructs none of it.
     """
     clusters = tuple(clusters)
     meter = CostMeter()
@@ -142,6 +154,15 @@ def build_demo_environment(
         health = SiteHealthTracker()
         if retry_policy is None:
             retry_policy = DEFAULT_RETRY_POLICY
+
+    # --- the adaptive-execution layer -------------------------------------
+    controller: "AdaptiveController | None" = None
+    if adaptive:
+        from repro.adaptive import AdaptiveController, SpeculationPolicy
+
+        controller = AdaptiveController(
+            speculation=SpeculationPolicy(), predictive=True, meter=meter
+        )
 
     # --- the Grid ---------------------------------------------------------
     topology = GridTopology.default_demo(failure_rate=failure_rate)
@@ -159,6 +180,7 @@ def build_demo_environment(
         faults=injector,
         health=health,
         gram_retry=retry_policy if injector is not None else None,
+        adaptive=controller,
     )
     vds.add_storage_site(CACHE_SITE)
     vds.add_storage_site(OUTPUT_SITE)
@@ -309,6 +331,7 @@ def build_demo_environment(
         resource_registry=resource_registry,
         fault_injector=injector,
         health=health,
+        adaptive=controller,
     )
 
 

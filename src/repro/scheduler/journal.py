@@ -28,7 +28,22 @@ from repro.core.errors import SchedulerError
 from repro.scheduler.job import JobRecord, JobState
 
 #: Event vocabulary (anything else in a journal is rejected at replay).
-EVENTS = ("submit", "start", "complete", "fail", "cancel", "rescue", "requeue")
+#: ``speculate`` annotates a RUNNING job whose workflow launched straggler
+#: duplicates (no state transition — a crash mid-speculation replays to the
+#: same requeue as any interrupted RUNNING job); ``deadline-shed`` is a
+#: terminal cancellation recording that the job was dropped to protect a
+#: campaign deadline.
+EVENTS = (
+    "submit",
+    "start",
+    "complete",
+    "fail",
+    "cancel",
+    "rescue",
+    "requeue",
+    "speculate",
+    "deadline-shed",
+)
 
 
 class JobJournal:
@@ -143,12 +158,36 @@ def replay_events(events: Iterable[dict[str, Any]]) -> JournalState:
                 record.extra["submitted_ts"] = line["ts"]
             state.jobs[record.job_id] = record
             state.max_seq = max(state.max_seq, record.seq)
-        elif event in ("start", "complete", "fail", "cancel", "requeue"):
+        elif event in (
+            "start",
+            "complete",
+            "fail",
+            "cancel",
+            "requeue",
+            "speculate",
+            "deadline-shed",
+        ):
             job_id = line["job_id"]
             record = state.jobs.get(job_id)
             if record is None:
                 raise SchedulerError(f"journal {event!r} for unknown job {job_id!r}")
-            if event == "requeue":
+            if event == "speculate":
+                # annotation only: the job stays RUNNING, so a crash right
+                # after this line requeues it exactly once (the generic
+                # interrupted-RUNNING rule below) and the fingerprint —
+                # which folds (seq, id, user, cluster, state) — is
+                # untouched by how many duplicates the workflow launched.
+                record.extra["speculated"] = True
+                record.extra["speculated_nodes"] = int(line.get("nodes", 1))
+            elif event == "deadline-shed":
+                record.state = JobState.CANCELLED
+                record.finished_at = line.get("finished_at", line["ts"])
+                record.extra["finished_ts"] = line["ts"]
+                record.extra["shed"] = True
+                record.error = line.get(
+                    "reason", "shed to protect the campaign deadline"
+                )
+            elif event == "requeue":
                 # Transient failure sent the job back to the queue; backoff
                 # gates are process-local monotonic time and do not replay.
                 record.state = JobState.QUEUED

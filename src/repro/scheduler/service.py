@@ -41,6 +41,7 @@ from repro.scheduler.journal import JobJournal
 from repro.scheduler.leases import SlotLeaseManager
 from repro.scheduler.policy import AdmissionPolicy, FairShareScheduler
 from repro.scheduler.runner import JobFailure, JobOutcome, JobRunner, PortalJobRunner
+from repro.adaptive.deadline import DeadlineTracker
 from repro.resilience.retry import RetryPolicy
 from repro.telemetry.tracing import CURRENT_SPAN
 
@@ -81,6 +82,7 @@ class WorkloadManager:
         clock: Callable[[], float] = time.monotonic,
         requeue_policy: RetryPolicy | None = None,
         shard: str | None = None,
+        deadline_s: float | None = None,
     ) -> None:
         if slots_per_job < 1:
             raise ValueError(f"slots_per_job must be positive, got {slots_per_job}")
@@ -109,6 +111,11 @@ class WorkloadManager:
                 else max(slots_per_job, total_slots // 2)
             ),
         )
+        #: campaign SLO: when set, the dispatcher predicts queue-drain time
+        #: from completed-job durations and sheds the lowest-priority queued
+        #: jobs (journaled ``deadline-shed``) once the prediction overshoots.
+        self.deadline_s = deadline_s
+        self._deadline: "DeadlineTracker | None" = None
         self._clock = clock
         self._max_workers = max_workers
         self._cond = threading.Condition()
@@ -175,6 +182,8 @@ class WorkloadManager:
                 raise SchedulerError("cannot start a manager constructed without a runner")
             self._started = True
             self._stop = False
+            if self.deadline_s is not None and self._deadline is None:
+                self._deadline = DeadlineTracker(self.deadline_s, self._clock())
             self._pool = ThreadPoolExecutor(
                 max_workers=self._max_workers, thread_name_prefix="scheduler-job"
             )
@@ -350,6 +359,11 @@ class WorkloadManager:
                 "slots_in_use": self.leases.in_use(),
                 "slots_total": self.leases.total_slots,
                 "fair_share": self.scheduler.debts(users),
+                **(
+                    {"deadline": self._deadline.snapshot(self._clock())}
+                    if self._deadline is not None
+                    else {}
+                ),
                 "jobs": [
                     {
                         **r.as_record(),
@@ -357,6 +371,8 @@ class WorkloadManager:
                         "wait_seconds": r.wait_seconds,
                         "run_seconds": r.run_seconds,
                         "error": r.error,
+                        "speculated": bool(r.extra.get("speculated", False)),
+                        "shed": bool(r.extra.get("shed", False)),
                         **_wall_times(r),
                     }
                     for r in jobs
@@ -383,11 +399,52 @@ class WorkloadManager:
             return False
         return self.leases.can_acquire(record.spec.user, self.slots_per_job)
 
+    def _shed_for_deadline_locked(self) -> None:
+        """Cancel lowest-priority queued work while the drain prediction
+        overshoots the campaign deadline.  Caller holds the lock.
+
+        Sheds one victim at a time and re-predicts: each cancellation
+        shrinks the queue, so the loop stops at the *minimal* sacrifice
+        that fits the deadline again.  Victims are picked lowest priority
+        first, newest submission first among equals — the jobs whose loss
+        degrades the campaign least.
+        """
+        tracker = self._deadline
+        if tracker is None:
+            return
+        while self._queue:
+            now = self._clock()
+            if not tracker.should_shed(
+                now, len(self._queue), self._running, self._max_workers
+            ):
+                break
+            victim = min(
+                (self._jobs[job_id] for job_id in self._queue),
+                key=lambda r: (r.spec.priority, -r.seq),
+            )
+            self._queue.remove(victim.job_id)
+            victim.state = JobState.CANCELLED
+            victim.finished_at = now
+            victim.error = (
+                "deadline-shed: predicted campaign completion past "
+                f"{tracker.deadline_s:.0f}s"
+            )
+            victim.extra["shed"] = True
+            line = self.journal.append(
+                "deadline-shed", job_id=victim.job_id, reason=victim.error
+            )
+            victim.extra["finished_ts"] = line["ts"]
+            telemetry.count("scheduler_deadline_sheds_total", user=victim.spec.user)
+            telemetry.count("scheduler_jobs_total", state="cancelled")
+            self._publish_gauges_locked()
+            self._cond.notify_all()
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._cond:
                 record = None
                 while not self._stop:
+                    self._shed_for_deadline_locked()
                     if self._queue and self._running < self._max_workers:
                         queued = [self._jobs[j] for j in self._queue]
                         record = self.scheduler.pick(queued, self._eligible)
@@ -478,6 +535,19 @@ class WorkloadManager:
                     record.error = ""  # clear any requeued attempt's failure
                     record.cache_hit = cache_hit
                     record.resumed_nodes = outcome.resumed_nodes
+                    if outcome.speculated > 0:
+                        # journaled before the terminal line so a crash in
+                        # between replays as the standard interrupted-RUNNING
+                        # requeue (never a double run)
+                        self.journal.append(
+                            "speculate",
+                            job_id=record.job_id,
+                            nodes=outcome.speculated,
+                        )
+                        record.extra["speculated"] = True
+                        record.extra["speculated_nodes"] = outcome.speculated
+                    if self._deadline is not None and not cache_hit:
+                        self._deadline.observe(record.run_seconds or 0.0)
                     self._results[record.job_id] = outcome.result_bytes
                     if self.cache is not None:
                         try:

@@ -51,6 +51,15 @@ RESILIENCE_METRICS = (
     "service_request_errors_total",
     "galmorph_shm_fallback_total",
     "galmorph_pool_fallback_total",
+    # adaptive-execution layer (speculation / placement / deadline SLO)
+    "speculation_launched_total",
+    "speculation_won_total",
+    "speculation_wasted_total",
+    "speculation_wasted_seconds_total",
+    "adaptive_predictive_choices_total",
+    "adaptive_placement_switches_total",
+    "adaptive_site_slots",
+    "scheduler_deadline_sheds_total",
 )
 
 #: Span name the Condor executors use for per-DAG-node spans.

@@ -1,0 +1,130 @@
+"""Tests for deadline-aware degradation: the tracker's prediction and the
+workload manager's journaled shedding."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.adaptive.deadline import DeadlineTracker
+from repro.scheduler.job import JobState
+from repro.scheduler.journal import JobJournal
+from repro.scheduler.runner import JobOutcome
+from repro.scheduler.service import WorkloadManager
+
+
+class TestDeadlineTracker:
+    def test_no_prediction_without_samples(self):
+        tracker = DeadlineTracker(deadline_s=100.0, started_at=0.0)
+        assert tracker.predicted_completion(50.0, queued=10, running=2, parallelism=4) is None
+        # shedding on zero information would cancel work for nothing
+        assert not tracker.should_shed(99.0, queued=100, running=4, parallelism=4)
+
+    def test_prediction_is_elapsed_plus_waves(self):
+        tracker = DeadlineTracker(deadline_s=100.0, started_at=0.0)
+        tracker.observe(10.0)
+        # 7 remaining over 4 workers = 2 waves x 10s on top of now
+        assert tracker.predicted_completion(
+            30.0, queued=5, running=2, parallelism=4
+        ) == pytest.approx(50.0)
+
+    def test_empty_queue_predicts_now(self):
+        tracker = DeadlineTracker(deadline_s=100.0, started_at=10.0)
+        tracker.observe(10.0)
+        assert tracker.predicted_completion(
+            40.0, queued=0, running=0, parallelism=4
+        ) == pytest.approx(30.0)
+
+    def test_should_shed_threshold(self):
+        tracker = DeadlineTracker(deadline_s=60.0, started_at=0.0)
+        tracker.observe(10.0)
+        assert not tracker.should_shed(10.0, queued=4, running=0, parallelism=1)
+        assert tracker.should_shed(30.0, queued=4, running=0, parallelism=1)
+
+    def test_snapshot(self):
+        tracker = DeadlineTracker(deadline_s=60.0, started_at=5.0)
+        tracker.observe(2.0)
+        snapshot = tracker.snapshot(15.0)
+        assert snapshot["deadline_s"] == 60.0
+        assert snapshot["elapsed_s"] == pytest.approx(10.0)
+        assert snapshot["mean_job_s"] == pytest.approx(2.0)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineTracker(deadline_s=0.0, started_at=0.0)
+
+
+class SlowRunner:
+    """Every job takes ~0.25s — longer than the campaign deadline."""
+
+    def run(self, spec, resume_from):
+        time.sleep(0.25)
+        return JobOutcome(result_bytes=b"ok")
+
+
+class TestManagerShedding:
+    def test_sheds_lowest_priority_newest_first_and_journals(self):
+        journal = JobJournal(None)
+        manager = WorkloadManager(
+            SlowRunner(),
+            total_slots=8,
+            slots_per_job=1,
+            max_workers=1,
+            journal=journal,
+            deadline_s=0.2,
+        )
+        manager.start()
+        try:
+            # The high-priority job runs; the three others are queued when
+            # its completion gives the tracker its first sample.
+            head = manager.submit("alice", "A3526", priority=10)
+            victims = [
+                manager.submit("alice", "A0001", priority=5),
+                manager.submit("alice", "A0002", priority=1),
+                manager.submit("alice", "A0003", priority=1),
+            ]
+            assert manager.wait(head.job_id, timeout=10.0).state is JobState.COMPLETED
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                records = [manager.job(v.job_id) for v in victims]
+                if all(r.state is JobState.CANCELLED for r in records):
+                    break
+                time.sleep(0.02)
+            records = [manager.job(v.job_id) for v in victims]
+            assert all(r.state is JobState.CANCELLED for r in records)
+            assert all(r.extra.get("shed") is True for r in records)
+            assert all("deadline-shed" in (r.error or "") for r in records)
+
+            # victim order: lowest priority first, newest among equals
+            shed_lines = [
+                line for line in journal.events() if line["event"] == "deadline-shed"
+            ]
+            assert [line["job_id"] for line in shed_lines] == [
+                victims[2].job_id,  # priority 1, newest
+                victims[1].job_id,  # priority 1, older
+                victims[0].job_id,  # priority 5
+            ]
+
+            snapshot = manager.snapshot()
+            assert snapshot["deadline"]["deadline_s"] == 0.2
+            by_id = {job["job_id"]: job for job in snapshot["jobs"]}
+            assert all(by_id[v.job_id]["shed"] for v in victims)
+            assert not by_id[head.job_id]["shed"]
+        finally:
+            manager.stop()
+
+        # replay agrees: shed jobs fold to CANCELLED, nothing requeues
+        state = journal.replay()
+        for victim in victims:
+            assert state.jobs[victim.job_id].state is JobState.CANCELLED
+            assert state.jobs[victim.job_id].extra["shed"] is True
+        assert state.queued_jobs() == []
+
+    def test_no_deadline_means_no_tracker(self):
+        manager = WorkloadManager(SlowRunner(), max_workers=1)
+        manager.start()
+        try:
+            assert "deadline" not in manager.snapshot()
+        finally:
+            manager.stop()

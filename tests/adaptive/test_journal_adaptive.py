@@ -1,0 +1,136 @@
+"""Journal replay for the adaptive events: ``speculate`` is a pure
+annotation (fingerprint-stable, crash-safe), ``deadline-shed`` is
+terminal CANCELLED."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SchedulerError
+from repro.scheduler.job import JobRecord, JobSpec, JobState, derivation_signature
+from repro.scheduler.journal import JobJournal, replay_events
+
+
+def submit(journal: JobJournal, seq: int = 0, user: str = "alice") -> JobRecord:
+    spec = JobSpec.create(user, "A3526")
+    record = JobRecord(
+        job_id=f"job-{seq:06d}-test",
+        spec=spec,
+        signature=derivation_signature(spec),
+        seq=seq,
+        submitted_at=float(seq),
+    )
+    journal.append("submit", job=record.as_record())
+    return record
+
+
+class TestSpeculateReplay:
+    def test_annotation_only_fingerprint_stable(self):
+        """The fingerprint folds (seq, id, user, cluster, state): how many
+        duplicates the workflow launched must not change it."""
+        plain = JobJournal(None)
+        record = submit(plain)
+        plain.append("start", job_id=record.job_id)
+        plain.append("complete", job_id=record.job_id, cost=1.0)
+
+        spec = JobJournal(None)
+        record2 = submit(spec)
+        spec.append("start", job_id=record2.job_id)
+        spec.append("speculate", job_id=record2.job_id, nodes=3)
+        spec.append("complete", job_id=record2.job_id, cost=1.0)
+
+        assert spec.replay().fingerprint() == plain.replay().fingerprint()
+        replayed = spec.replay().jobs[record2.job_id]
+        assert replayed.state is JobState.COMPLETED
+        assert replayed.extra["speculated"] is True
+        assert replayed.extra["speculated_nodes"] == 3
+
+    def test_crash_mid_speculation_requeues_exactly_once(self):
+        """A crash between the speculate line and the terminal line is the
+        standard interrupted-RUNNING case: one requeue, no double run."""
+        journal = JobJournal(None)
+        record = submit(journal)
+        journal.append("start", job_id=record.job_id)
+        journal.append("speculate", job_id=record.job_id, nodes=2)
+        # crash here: no complete/fail line
+        state = journal.replay()
+        replayed = state.jobs[record.job_id]
+        assert replayed.state is JobState.QUEUED
+        assert replayed.started_at is None
+        assert replayed.attempts == 1  # the interrupted attempt still counts
+        assert [r.job_id for r in state.queued_jobs()] == [record.job_id]
+
+    def test_replay_deterministic(self):
+        journal = JobJournal(None)
+        record = submit(journal)
+        journal.append("start", job_id=record.job_id)
+        journal.append("speculate", job_id=record.job_id)
+        assert journal.replay().fingerprint() == journal.replay().fingerprint()
+
+    def test_speculate_for_unknown_job_rejected(self):
+        journal = JobJournal(None)
+        journal.append("speculate", job_id="job-999999-ghost")
+        with pytest.raises(SchedulerError):
+            journal.replay()
+
+    def test_default_node_count_is_one(self):
+        journal = JobJournal(None)
+        record = submit(journal)
+        journal.append("start", job_id=record.job_id)
+        journal.append("speculate", job_id=record.job_id)
+        journal.append("complete", job_id=record.job_id)
+        assert journal.replay().jobs[record.job_id].extra["speculated_nodes"] == 1
+
+
+class TestDeadlineShedReplay:
+    def test_shed_is_terminal_cancelled(self):
+        journal = JobJournal(None)
+        record = submit(journal)
+        journal.append(
+            "deadline-shed", job_id=record.job_id, reason="deadline-shed: over"
+        )
+        state = journal.replay()
+        replayed = state.jobs[record.job_id]
+        assert replayed.state is JobState.CANCELLED
+        assert replayed.extra["shed"] is True
+        assert replayed.error == "deadline-shed: over"
+        assert replayed.finished_at is not None
+        assert state.queued_jobs() == []
+
+    def test_shed_job_never_requeues(self):
+        """Even a shed-after-start job stays cancelled on replay — the
+        interrupted-RUNNING rule only rescues jobs still RUNNING."""
+        journal = JobJournal(None)
+        record = submit(journal)
+        journal.append("start", job_id=record.job_id)
+        journal.append("deadline-shed", job_id=record.job_id)
+        state = journal.replay()
+        assert state.jobs[record.job_id].state is JobState.CANCELLED
+        assert state.queued_jobs() == []
+
+    def test_events_registered(self):
+        journal = JobJournal(None)
+        record = submit(journal)
+        # both events append without SchedulerError (EVENTS allows them)
+        journal.append("speculate", job_id=record.job_id)
+        journal.append("deadline-shed", job_id=record.job_id)
+
+    def test_mixed_events_fingerprint_stable_across_replays(self):
+        journal = JobJournal(None)
+        for seq in range(3):
+            record = submit(journal, seq=seq)
+            journal.append("start", job_id=record.job_id)
+            if seq == 0:
+                journal.append("speculate", job_id=record.job_id, nodes=2)
+                journal.append("complete", job_id=record.job_id)
+            elif seq == 1:
+                journal.append("deadline-shed", job_id=record.job_id)
+        first = replay_events(journal.events()).fingerprint()
+        second = replay_events(journal.events()).fingerprint()
+        assert first == second
+        states = {r.job_id: r.state for r in replay_events(journal.events()).jobs.values()}
+        assert list(states.values()) == [
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.QUEUED,  # seq 2 was interrupted RUNNING
+        ]

@@ -1,0 +1,107 @@
+"""Tests for predictive site selection: abstention, ranking, hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.estimator import SiteLatencyEstimator
+from repro.adaptive.selector import PredictiveSiteSelector
+from repro.pegasus.site_selector import RoundRobinSiteSelector
+
+SITES = ["fnal", "isi", "uwisc"]
+
+
+def warm_estimator(means: dict[str, float], samples: int = 5) -> SiteLatencyEstimator:
+    estimator = SiteLatencyEstimator()
+    for site, mean in means.items():
+        for _ in range(samples):
+            estimator.observe(site, "galMorph", mean)
+    return estimator
+
+
+class TestAbstention:
+    def test_no_history_falls_back_to_base(self):
+        selector = PredictiveSiteSelector(
+            RoundRobinSiteSelector(), SiteLatencyEstimator()
+        )
+        # round-robin over sorted candidates
+        assert [selector.choose(f"j{i}", SITES) for i in range(3)] == SITES
+
+    def test_partial_history_still_abstains(self):
+        """Ranking a known site against an unknown one would starve the
+        unknown site of samples forever — prediction waits for all."""
+        estimator = warm_estimator({"isi": 10.0, "fnal": 12.0})
+        selector = PredictiveSiteSelector(RoundRobinSiteSelector(), estimator)
+        choices = {selector.choose(f"j{i}", SITES) for i in range(6)}
+        assert choices == set(SITES)  # still pure round-robin
+
+    def test_below_min_samples_abstains(self):
+        estimator = warm_estimator(
+            {"isi": 10.0, "fnal": 12.0, "uwisc": 50.0}, samples=2
+        )
+        selector = PredictiveSiteSelector(
+            RoundRobinSiteSelector(), estimator, min_samples=3
+        )
+        assert {selector.choose(f"j{i}", SITES) for i in range(6)} == set(SITES)
+
+
+class TestRanking:
+    def test_prefers_fastest_site(self):
+        estimator = warm_estimator({"isi": 10.0, "fnal": 12.0, "uwisc": 50.0})
+        selector = PredictiveSiteSelector(RoundRobinSiteSelector(), estimator)
+        assert selector.choose("j0", SITES) == "isi"
+
+    def test_backlog_inflation_spreads_load(self):
+        """Every job on the fastest site would melt it: predicted
+        completion scales with the backlog already assigned, so choices
+        eventually spill to the second-fastest site."""
+        estimator = warm_estimator({"isi": 10.0, "fnal": 12.0, "uwisc": 50.0})
+        selector = PredictiveSiteSelector(
+            RoundRobinSiteSelector(),
+            estimator,
+            capacities={"isi": 4, "fnal": 4, "uwisc": 4},
+            hysteresis=0.0,
+        )
+        choices = [selector.choose(f"j{i}", SITES) for i in range(20)]
+        assert choices[0] == "isi"
+        assert "fnal" in choices
+        # 5x slower: 20 assignments of backlog never justify uwisc
+        assert "uwisc" not in choices
+
+    def test_candidate_subset_respected(self):
+        estimator = warm_estimator({"isi": 10.0, "uwisc": 50.0})
+        selector = PredictiveSiteSelector(RoundRobinSiteSelector(), estimator)
+        assert selector.choose("j0", ["uwisc"]) == "uwisc"
+
+
+class TestHysteresis:
+    def test_small_edge_keeps_incumbent(self):
+        estimator = warm_estimator({"isi": 10.0, "fnal": 10.5, "uwisc": 50.0})
+        selector = PredictiveSiteSelector(
+            RoundRobinSiteSelector(),
+            estimator,
+            capacities={"isi": 100, "fnal": 100, "uwisc": 100},
+            hysteresis=0.15,
+        )
+        assert selector.choose("j0", SITES) == "isi"
+        # fnal is now marginally better on paper (isi carries backlog),
+        # but not by the 15% the switch requires
+        assert selector.choose("j1", SITES) == "isi"
+
+    def test_large_edge_switches(self):
+        estimator = warm_estimator({"isi": 10.0, "fnal": 12.0, "uwisc": 50.0})
+        selector = PredictiveSiteSelector(
+            RoundRobinSiteSelector(),
+            estimator,
+            capacities={"isi": 1, "fnal": 1, "uwisc": 1},
+            hysteresis=0.15,
+        )
+        choices = [selector.choose(f"j{i}", SITES) for i in range(8)]
+        assert choices[0] == "isi"
+        assert "fnal" in choices  # backlog-inflated isi loses by > 15%
+
+    def test_invalid_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            PredictiveSiteSelector(
+                RoundRobinSiteSelector(), SiteLatencyEstimator(), hysteresis=1.0
+            )
